@@ -1,0 +1,73 @@
+"""Shared fixtures for the benchmark suite.
+
+Profiles are deterministic and depend only on the device model, so they
+are computed once per session and shared across benchmarks.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import p4de_cluster, single_node
+from repro.models.zoo import (
+    cdm_imagenet,
+    cdm_lsun,
+    controlnet_v1_0,
+    stable_diffusion_v2_1,
+)
+from repro.profiling import Profiler
+
+
+@pytest.fixture(scope="session")
+def cluster8():
+    return single_node(8)
+
+
+@pytest.fixture(scope="session")
+def sd_vanilla():
+    return stable_diffusion_v2_1(self_conditioning=False)
+
+
+@pytest.fixture(scope="session")
+def sd_selfcond():
+    return stable_diffusion_v2_1(self_conditioning=True)
+
+
+@pytest.fixture(scope="session")
+def controlnet_vanilla():
+    return controlnet_v1_0(self_conditioning=False)
+
+
+@pytest.fixture(scope="session")
+def controlnet_selfcond():
+    return controlnet_v1_0(self_conditioning=True)
+
+
+@pytest.fixture(scope="session")
+def lsun():
+    return cdm_lsun()
+
+
+@pytest.fixture(scope="session")
+def imagenet():
+    return cdm_imagenet()
+
+
+@pytest.fixture(scope="session")
+def sd_profile(cluster8, sd_vanilla):
+    return Profiler(cluster8).profile(sd_vanilla)
+
+
+@pytest.fixture(scope="session")
+def controlnet_profile(cluster8, controlnet_vanilla):
+    return Profiler(cluster8).profile(controlnet_vanilla)
+
+
+@pytest.fixture(scope="session")
+def lsun_profile(cluster8, lsun):
+    return Profiler(cluster8).profile(lsun)
+
+
+@pytest.fixture(scope="session")
+def imagenet_profile(cluster8, imagenet):
+    return Profiler(cluster8).profile(imagenet)

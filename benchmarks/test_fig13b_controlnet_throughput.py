@@ -1,0 +1,64 @@
+"""Fig. 13b: ControlNet v1.0 training throughput on 8-64 GPUs.
+
+ControlNet's non-trainable part is relatively large (Table 1: 76-89 % of
+the trainable time), so bubble filling pays off even more than for SD:
+the paper reports 1.41x over GPipe and 1.28x over DeepSpeed at batch
+2048 on 64 GPUs.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    SD_BATCHES,
+    ThroughputSweep,
+    cells_to_rows,
+    format_table,
+    sweep_headers,
+)
+from repro.models.zoo import controlnet_v1_0
+
+
+def _sweep(self_conditioning: bool):
+    sweep = ThroughputSweep(
+        lambda: controlnet_v1_0(self_conditioning=self_conditioning),
+        machine_counts=(1, 2, 4, 8),
+        batches=SD_BATCHES,
+    )
+    return sweep.run()
+
+
+@pytest.mark.parametrize("mode", ["vanilla", "self-conditioning"])
+def test_fig13b_controlnet_throughput(benchmark, mode):
+    cells = benchmark.pedantic(
+        _sweep, args=(mode == "self-conditioning",), rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            sweep_headers(cells),
+            cells_to_rows(cells),
+            title=f"Fig. 13b - ControlNet v1.0 throughput (samples/s), {mode}",
+        )
+    )
+    by = {(c.system, c.gpus, c.batch): c for c in cells}
+
+    def thpt(system, gpus, batch):
+        c = by[(system, gpus, batch)]
+        return c.throughput if not c.oom else 0.0
+
+    for gpus, batches in SD_BATCHES.items():
+        for b in batches:
+            dp = thpt("DiffusionPipe", gpus, b)
+            assert dp > 0
+            assert dp >= thpt("SPP", gpus, b) * 0.999
+            assert dp >= thpt("GPipe", gpus, b) * 0.999
+    # The headline comparison: batch 2048 on 64 GPUs.
+    dp = thpt("DiffusionPipe", 64, 2048)
+    gp = thpt("GPipe", 64, 2048)
+    ddp = thpt("DeepSpeed", 64, 2048)
+    print(f"64 GPUs @2048: vs GPipe {dp / gp:.2f}x (paper 1.41x), "
+          f"vs DeepSpeed {dp / ddp:.2f}x (paper 1.28x)")
+    assert dp / gp > 1.2
+    assert dp / ddp > 1.05

@@ -1,0 +1,58 @@
+"""Fig. 14: pipeline bubble ratio on 8 GPUs at batch sizes 256 and 384.
+
+Paper: DiffusionPipe under 5 % for both SD v2.1 and ControlNet v1.0,
+against ~15-25 % (SPP) and ~20-40 % (GPipe).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import bubble_ratio_comparison, format_table, pct
+
+BATCHES = (256, 384)
+
+
+def _ratios(model, cluster, profile):
+    return bubble_ratio_comparison(model, cluster, profile, batches=BATCHES)
+
+
+@pytest.mark.parametrize("which", ["sd", "controlnet"])
+def test_fig14_bubble_ratio(
+    benchmark,
+    which,
+    cluster8,
+    sd_vanilla,
+    sd_profile,
+    controlnet_vanilla,
+    controlnet_profile,
+):
+    model, profile = (
+        (sd_vanilla, sd_profile)
+        if which == "sd"
+        else (controlnet_vanilla, controlnet_profile)
+    )
+    ratios = benchmark.pedantic(
+        _ratios, args=(model, cluster8, profile), rounds=1, iterations=1
+    )
+    rows = [
+        [system, *(pct(ratios[system][b]) for b in BATCHES)]
+        for system in ("DiffusionPipe", "GPipe", "SPP")
+    ]
+    print()
+    print(
+        format_table(
+            [f"{model.name} / batch", *map(str, BATCHES)],
+            rows,
+            title="Fig. 14 - pipeline bubble ratio, 8 GPUs",
+        )
+    )
+    for b in BATCHES:
+        # The headline claim: DiffusionPipe's bubbles nearly eliminated
+        # (paper: < 5 %; our best-throughput plan lands at ~5 %).
+        assert ratios["DiffusionPipe"][b] < 0.06
+        # And dramatically lower than both pipeline baselines.
+        assert ratios["DiffusionPipe"][b] < 0.5 * ratios["SPP"][b]
+        assert ratios["DiffusionPipe"][b] < 0.5 * ratios["GPipe"][b]
+        # GPipe's fixed 2-stage equal split wastes at least ~10 %.
+        assert ratios["GPipe"][b] > 0.10

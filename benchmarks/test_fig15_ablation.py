@@ -1,0 +1,62 @@
+"""Fig. 15: ablation on 8 GPUs — disabling the partial-batch layer, and
+disabling bubble filling entirely.
+
+Paper: disabling the partial-batch layer degrades throughput and
+disabling filling degrades it further (10.9 % / 17.6 % for ControlNet at
+batch 256); at batch 384 the no-partial-batch variant collapses to the
+no-filling level because the extra-long layer blocks everything behind
+it.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import ablation_throughputs, format_table
+
+BATCHES = (256, 384)
+
+
+def _ablate(model, cluster, profile):
+    return ablation_throughputs(model, cluster, profile, batches=BATCHES)
+
+
+@pytest.mark.parametrize("which", ["sd", "controlnet"])
+def test_fig15_ablation(
+    benchmark,
+    which,
+    cluster8,
+    sd_vanilla,
+    sd_profile,
+    controlnet_vanilla,
+    controlnet_profile,
+):
+    model, profile = (
+        (sd_vanilla, sd_profile)
+        if which == "sd"
+        else (controlnet_vanilla, controlnet_profile)
+    )
+    result = benchmark.pedantic(
+        _ablate, args=(model, cluster8, profile), rounds=1, iterations=1
+    )
+    rows = [
+        [name, *(f"{result[name][b]:.0f}" for b in BATCHES)]
+        for name in result
+    ]
+    print()
+    print(
+        format_table(
+            [f"{model.name} / batch", *map(str, BATCHES)],
+            rows,
+            title="Fig. 15 - ablation (samples/s), 8 GPUs",
+        )
+    )
+    for b in BATCHES:
+        full = result["DiffusionPipe"][b]
+        no_partial = result["Partial-batch disabled"][b]
+        no_fill = result["Bubble filling disabled"][b]
+        # Ordering: full >= no-partial >= no-filling.
+        assert full >= no_partial * 0.999, (b, full, no_partial)
+        assert no_partial >= no_fill * 0.999, (b, no_partial, no_fill)
+        # Disabling filling costs real throughput (paper: up to 17.6 %).
+        assert full / no_fill > 1.04, (b, full, no_fill)

@@ -1,0 +1,58 @@
+"""Fig. 5: execution-time distribution of non-trainable layers at B=64.
+
+Paper shape: text-encoder layers (indices 0-21) run in 0.1-10 ms; most
+image-encoder layers take a moderate < 30 ms; a few extra-long layers
+exceed 400 ms.  ControlNet shows the same shape over ~65 layers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import format_bars, nt_layer_times
+
+
+def _times(model, profile):
+    return nt_layer_times(model, profile, batch=64)
+
+
+@pytest.mark.parametrize("which", ["sd", "controlnet"])
+def test_fig5_layer_times(
+    benchmark,
+    which,
+    sd_vanilla,
+    sd_profile,
+    controlnet_vanilla,
+    controlnet_profile,
+):
+    model, profile = (
+        (sd_vanilla, sd_profile)
+        if which == "sd"
+        else (controlnet_vanilla, controlnet_profile)
+    )
+    times = benchmark.pedantic(_times, args=(model, profile), rounds=1, iterations=1)
+    values = [t for _, _, t in times]
+    print()
+    top = sorted(times, key=lambda t: -t[2])[:8]
+    print(
+        format_bars(
+            [f"{c}[{i}]" for c, i, _ in top], [t for _, _, t in top], unit=" ms"
+        )
+    )
+
+    n = len(values)
+    if which == "sd":
+        assert n == 42  # 23 text-encoder + 19 VAE layers
+    else:
+        assert n == 65  # + 23 hint-encoder layers
+
+    # Text encoder: short layers (0.05-10 ms).
+    text = [t for c, _, t in times if c == "text_encoder"]
+    assert all(0.05 <= t <= 10.0 for t in text)
+    # A large share of moderate layers (< 30 ms).
+    moderate = [t for t in values if t < 30.0]
+    assert len(moderate) / n > 0.7
+    # Extra-long layers exist (> 400 ms).
+    assert max(values) > 400.0
+    # And more than one layer above 100 ms (the partial-batch motivators).
+    assert sum(1 for t in values if t > 100.0) >= 2

@@ -1,0 +1,73 @@
+"""Fig. 6: the top-3 longest non-trainable layers across batch sizes,
+against the longest pipeline bubble at 4 micro-batches and 2/3/4 stages.
+
+Paper shape: at full batch (64) the top layers (up to ~400 ms) exceed
+every bubble; reducing the layer's batch to ~16 brings most of them
+under the longest bubble — the motivation for partial-batch layers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.harness import (
+    format_table,
+    longest_bubble_by_stages,
+    top_layer_series,
+)
+
+BATCHES = (4, 8, 16, 24, 32, 48, 64)
+
+
+def _series_and_bubbles(model, cluster, profile):
+    series = top_layer_series(model, profile, top_k=3, batches=BATCHES)
+    bubbles = longest_bubble_by_stages(
+        model, cluster, profile, batch=64, num_micro=4
+    )
+    return series, bubbles
+
+
+@pytest.mark.parametrize("which", ["sd", "controlnet"])
+def test_fig6_long_layers(
+    benchmark,
+    which,
+    cluster8,
+    sd_vanilla,
+    sd_profile,
+    controlnet_vanilla,
+    controlnet_profile,
+):
+    model, profile = (
+        (sd_vanilla, sd_profile)
+        if which == "sd"
+        else (controlnet_vanilla, controlnet_profile)
+    )
+    series, bubbles = benchmark.pedantic(
+        _series_and_bubbles, args=(model, cluster8, profile), rounds=1, iterations=1
+    )
+
+    rows = []
+    for k, s in enumerate(series):
+        rows.append(
+            [f"top-{k + 1} ({s.component}[{s.layer}])"]
+            + [f"{t:.0f}" for t in s.times_ms]
+        )
+    for S, t in sorted(bubbles.items()):
+        rows.append([f"longest bubble S={S}", *[""] * (len(BATCHES) - 1), f"{t:.0f}"])
+    print()
+    print(format_table(["series \\ batch", *map(str, BATCHES)], rows))
+
+    top1 = series[0]
+    t64 = top1.times_ms[BATCHES.index(64)]
+    t16 = top1.times_ms[BATCHES.index(16)]
+    longest = max(bubbles.values())
+    # Layer time grows ~linearly with batch and the top layer exceeds
+    # every bubble at full batch...
+    assert list(top1.times_ms) == sorted(top1.times_ms)
+    assert t64 > longest
+    # ...but fits the longest bubble at batch 16 (the paper's
+    # observation motivating partial-batch processing).
+    assert t16 < longest
+    # Bubble length grows with stage count.
+    svals = [bubbles[s] for s in sorted(bubbles)]
+    assert svals == sorted(svals)

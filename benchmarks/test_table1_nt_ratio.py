@@ -1,0 +1,56 @@
+"""Table 1: ratio of non-trainable forward time to trainable
+forward+backward time on one A100, at batch sizes 8/16/32/64.
+
+Paper values: SD v2.1 38/41/43/44 %, ControlNet v1.0 76/81/86/89 %.
+"""
+
+from __future__ import annotations
+
+from repro.harness import ExperimentReport, format_table
+
+BATCHES = (8, 16, 32, 64)
+PAPER = {
+    "stable-diffusion-v2.1": (0.38, 0.41, 0.43, 0.44),
+    "controlnet-v1.0": (0.76, 0.81, 0.86, 0.89),
+}
+
+
+def nt_over_trainable(model, profile, batch: float) -> float:
+    nt = sum(
+        profile.component_fwd_ms(c.name, batch) for c in model.non_trainable
+    )
+    t = sum(
+        profile.component_train_ms(n, batch) for n in model.backbone_names
+    )
+    return nt / t
+
+
+def _compute(models_profiles):
+    report = ExperimentReport("Table 1 - NT/T time ratio")
+    for model, profile in models_profiles:
+        for b, paper in zip(BATCHES, PAPER[model.name]):
+            measured = nt_over_trainable(model, profile, b)
+            report.add(f"{model.name} B={b}", "NT/T", paper, round(measured, 3))
+    return report
+
+
+def test_table1_nt_ratio(
+    benchmark, sd_vanilla, sd_profile, controlnet_vanilla, controlnet_profile
+):
+    pairs = [(sd_vanilla, sd_profile), (controlnet_vanilla, controlnet_profile)]
+    report = benchmark.pedantic(_compute, args=(pairs,), rounds=1, iterations=1)
+    print()
+    print(report.to_table())
+    rows = []
+    for model, profile in pairs:
+        row = [model.name]
+        for b in BATCHES:
+            row.append(f"{100 * nt_over_trainable(model, profile, b):.0f}%")
+        rows.append(row)
+    print(format_table(["Model / Batch size", *map(str, BATCHES)], rows))
+    # Shape assertions: every cell within 3 pp of the paper; ratio
+    # increases with batch size for both models.
+    assert report.max_abs_deviation() < 0.08
+    for model, profile in pairs:
+        ratios = [nt_over_trainable(model, profile, b) for b in BATCHES]
+        assert ratios == sorted(ratios)

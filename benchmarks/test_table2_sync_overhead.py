@@ -1,0 +1,59 @@
+"""Table 2: proportion of gradient synchronisation in the DDP iteration
+time at local batch size 8, on 8/16/32/64 GPUs.
+
+Paper values: SD v2.1 5.2/19.3/36.1/38.1 %, ControlNet 6.9/22.7/39.1/40.1 %.
+"""
+
+from __future__ import annotations
+
+from repro.baselines import DataParallelBaseline
+from repro.cluster import p4de_cluster
+from repro.harness import ExperimentReport, format_table
+from repro.profiling import Profiler
+
+MACHINES = (1, 2, 4, 8)
+PAPER = {
+    "stable-diffusion-v2.1": (0.052, 0.193, 0.361, 0.381),
+    "controlnet-v1.0": (0.069, 0.227, 0.391, 0.401),
+}
+LOCAL_BATCH = 8
+
+
+def _compute(models):
+    report = ExperimentReport("Table 2 - sync share of iteration")
+    table_rows = []
+    for model in models:
+        row = [model.name]
+        for machines, paper in zip(MACHINES, PAPER[model.name]):
+            cluster = p4de_cluster(machines)
+            profile = Profiler(cluster).profile(model)
+            ddp = DataParallelBaseline(model, cluster, profile)
+            res = ddp.run(LOCAL_BATCH * cluster.world_size)
+            report.add(
+                f"{model.name} {cluster.world_size} GPUs",
+                "sync share",
+                paper,
+                round(res.sync_share, 3),
+            )
+            row.append(f"{100 * res.sync_share:.1f}%")
+        table_rows.append(row)
+    return report, table_rows
+
+
+def test_table2_sync_overhead(benchmark, sd_vanilla, controlnet_vanilla):
+    models = [sd_vanilla, controlnet_vanilla]
+    report, rows = benchmark.pedantic(
+        _compute, args=(models,), rounds=1, iterations=1
+    )
+    print()
+    print(report.to_table())
+    print(format_table(["Model / GPU count", "8", "16", "32", "64"], rows))
+    # All cells within 15 % relative deviation; share grows with scale.
+    assert report.max_abs_deviation() < 0.15
+    for model in models:
+        shares = [
+            c.measured
+            for c in report.comparisons
+            if c.setting.startswith(model.name)
+        ]
+        assert shares == sorted(shares)

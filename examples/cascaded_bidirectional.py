@@ -1,0 +1,81 @@
+"""Cascaded diffusion: bidirectional pipelines for CDM-LSUN.
+
+Two backbones of similar size train over the *same* device chain in
+opposite directions (§4.2, Fig. 3): each backbone's micro-batches slot
+into the other's bubbles.  This example partitions CDM-LSUN, renders the
+bidirectional timeline, and compares against the sequential/parallel
+data-parallel strategies (DeepSpeed-S / DeepSpeed-P).
+
+Run:  python examples/cascaded_bidirectional.py
+"""
+
+from __future__ import annotations
+
+from repro import DiffusionPipePlanner, PlannerOptions, Profiler, zoo
+from repro.baselines import (
+    CDMStrategyConfig,
+    ParallelCDMBaseline,
+    SequentialCDMBaseline,
+)
+from repro.cluster import single_node
+from repro.harness import format_table, oom_or, pct
+
+BATCHES = (128, 256, 512)
+
+
+def main() -> None:
+    cluster = single_node(8)
+    model = zoo.cdm_lsun()
+    profile = Profiler(cluster).profile(model)
+    print(f"model: {model.name} with backbones {model.backbone_names}")
+
+    planner = DiffusionPipePlanner(
+        model, cluster, profile,
+        options=PlannerOptions(group_sizes=(2, 4, 8), keep_timeline=True),
+    )
+    ev = planner.plan(256)
+    plan = ev.plan
+    print(f"\nbest plan at batch 256: {plan.config_label} "
+          f"({plan.throughput:.0f} samples/s, "
+          f"bubbles {pct(plan.bubble_ratio_filled)})")
+    print("down pipeline (base_64):  "
+          + " | ".join(f"[{s.lo}:{s.hi}]" for s in plan.partition.down))
+    print("up pipeline   (sr_128):   "
+          + " | ".join(f"[{s.lo}:{s.hi}]" for s in plan.partition.up))
+
+    assert ev.timeline is not None
+    print("\nbidirectional timeline (down + up interleaved per device):")
+    print(ev.timeline.to_ascii(width=96))
+
+    engines = [
+        SequentialCDMBaseline(model, cluster, profile, CDMStrategyConfig()),
+        ParallelCDMBaseline(model, cluster, profile, CDMStrategyConfig()),
+        SequentialCDMBaseline(model, cluster, profile, CDMStrategyConfig(zero3=True)),
+        ParallelCDMBaseline(model, cluster, profile, CDMStrategyConfig(zero3=True)),
+    ]
+    rows = []
+    for batch in BATCHES:
+        row = [str(batch)]
+        dp = DiffusionPipePlanner(
+            model, cluster, profile,
+            options=PlannerOptions(group_sizes=(2, 4, 8)),
+        ).plan(batch).plan
+        row.append(f"{dp.throughput:.0f}")
+        for eng in engines:
+            res = eng.run(batch)
+            row.append("OOM" if res.oom else f"{res.throughput:.0f}")
+        rows.append(row)
+    print()
+    print(format_table(
+        ["batch/backbone", "DiffusionPipe",
+         *[e.name for e in engines]],
+        rows,
+        title="CDM-LSUN throughput on 8 GPUs (samples/s, Fig. 13c slice)",
+    ))
+    print("\nNote the paper's observation: throughput is comparable to "
+          "DeepSpeed-P, but DiffusionPipe keeps scaling to batch sizes "
+          "where the data-parallel strategies run out of memory.")
+
+
+if __name__ == "__main__":
+    main()

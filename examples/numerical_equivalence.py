@@ -1,0 +1,91 @@
+"""Numerical proof of §3.2: cross-iteration pipeline training is
+mathematically equivalent to data-parallel / synchronous training.
+
+Runs real NumPy training four ways on the same toy diffusion-style
+model (frozen encoder + trainable backbone):
+
+1. single device, full batch                  (reference)
+2. 1F1B pipeline, 4 micro-batches
+3. pipeline + data parallelism (2 replicas)
+4. cross-iteration prefetching of the frozen encoder
+
+and shows the parameters stay bit-for-bit (up to float rounding)
+identical, while the loss goes down.
+
+Run:  python examples/numerical_equivalence.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine import (
+    SGD,
+    DataParallelPipelineTrainer,
+    PipelineTrainer,
+    SingleDeviceTrainer,
+    clone_chain,
+    cross_iteration_equivalence,
+    frozen_encoder,
+    mlp_chain,
+)
+from repro.engine.equivalence import max_param_diff
+from repro.harness import format_table
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    d_in, d_feat, d_out = 6, 5, 3
+
+    encoder = frozen_encoder("enc", d_in, d_feat, rng)
+    backbone = mlp_chain("unet", [d_feat, 16, 16, d_out], rng)
+
+    # A fixed dataset: features come from the frozen encoder, like the
+    # VAE/text encoders feeding the U-Net.
+    x_raw = rng.normal(size=(16, d_in))
+    target = rng.normal(size=(16, d_out))
+    feats, _ = encoder.forward(x_raw)
+
+    single = SingleDeviceTrainer(clone_chain(backbone), optimizer=SGD(lr=0.05))
+    pipe = PipelineTrainer(
+        clone_chain(backbone), boundaries=[2, 4], num_micro=4,
+        optimizer_factory=lambda: SGD(lr=0.05),
+    )
+    mixed = DataParallelPipelineTrainer(
+        clone_chain(backbone), boundaries=[2], num_micro=2, replicas=2,
+        optimizer_factory=lambda: SGD(lr=0.05),
+    )
+
+    losses = []
+    for step in range(10):
+        l1 = single.step(feats, target)
+        l2 = pipe.step(feats, target)
+        l3 = mixed.step(feats, target)
+        losses.append((step, l1, l2, l3))
+
+    rows = [
+        [str(s), f"{l1:.6f}", f"{l2:.6f}", f"{l3:.6f}"]
+        for s, l1, l2, l3 in losses[:5]
+    ] + [["...", "", "", ""], [str(losses[-1][0]),
+         *(f"{v:.6f}" for v in losses[-1][1:])]]
+    print(format_table(
+        ["step", "single device", "1F1B pipeline (3 stages)",
+         "pipeline x2 data parallel"],
+        rows,
+        title="training loss, three execution strategies",
+    ))
+
+    d_pipe = max_param_diff(single.chain.param_vector(), pipe.param_vector())
+    d_mixed = max_param_diff(single.chain.param_vector(), mixed.param_vector())
+    d_cross = cross_iteration_equivalence(iterations=6)
+    print("\nmax parameter deviation after 10 steps:")
+    print(f"  pipeline      vs single device: {d_pipe:.2e}")
+    print(f"  pipeline + DP vs single device: {d_mixed:.2e}")
+    print(f"  cross-iteration prefetch vs eager encoder: {d_cross:.2e}")
+    assert d_pipe < 1e-10 and d_mixed < 1e-10 and d_cross == 0.0
+    print("\nall three schedules compute identical updates -- the §3.2 "
+          "equivalence claim, verified on real tensors.")
+
+
+if __name__ == "__main__":
+    main()

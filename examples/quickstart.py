@@ -1,0 +1,86 @@
+"""Quickstart: plan Stable Diffusion v2.1 training on one 8-GPU node.
+
+Walks the full DiffusionPipe front-end (Fig. 7): profile the model,
+search pipeline hyper-parameters, partition the backbone, fill bubbles
+with the frozen encoders, and print the chosen plan with its timeline
+and a slice of the generated per-device instruction streams.
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import DiffusionPipePlanner, PlannerOptions, Profiler, zoo
+from repro.cluster import single_node
+from repro.core import extract_bubbles, lower_timeline
+from repro.harness import format_table, pct
+
+GLOBAL_BATCH = 256
+
+
+def main() -> None:
+    cluster = single_node(8)
+    model = zoo.stable_diffusion_v2_1(self_conditioning=False)
+    print(f"model: {model.name}  |  cluster: {cluster.world_size}x "
+          f"{cluster.device_spec.name}")
+
+    # Step 1: profile every layer at a grid of batch sizes.
+    profile = Profiler(cluster).profile(model)
+    nt_ms = sum(
+        profile.component_fwd_ms(c.name, 64) for c in model.non_trainable
+    )
+    t_ms = profile.component_train_ms("unet", 64)
+    print(f"profiled: NT forward {nt_ms:.0f} ms vs backbone train "
+          f"{t_ms:.0f} ms at B=64  (ratio {pct(nt_ms / t_ms)}, Table 1)")
+
+    # Steps 2-5: search (S, M, D), partition, schedule, fill, select.
+    planner = DiffusionPipePlanner(
+        model, cluster, profile,
+        options=PlannerOptions(keep_timeline=True, group_sizes=(2, 4, 8)),
+    )
+    ev = planner.plan(GLOBAL_BATCH)
+    plan = ev.plan
+
+    print(f"\nbest configuration at global batch {GLOBAL_BATCH}: "
+          f"{plan.config_label}")
+    rows = [
+        ["iteration", f"{plan.iteration_ms:.1f} ms"],
+        ["throughput", f"{plan.throughput:.1f} samples/s"],
+        ["bubble ratio (unfilled)", pct(plan.bubble_ratio_unfilled)],
+        ["bubble ratio (filled)", pct(plan.bubble_ratio_filled)],
+        ["NT leftover after flush", f"{plan.leftover_ms:.1f} ms"],
+        ["peak device memory", f"{plan.memory.peak_bytes / 1e9:.1f} GB"],
+    ]
+    print(format_table(["metric", "value"], rows))
+
+    print("\nbackbone partition:")
+    for st in plan.partition.down:
+        print(f"  stage {st.component}[{st.lo}:{st.hi}] "
+              f"x{st.replicas} device(s)")
+
+    assert ev.timeline is not None
+    print("\npipeline timeline (one iteration, backbone only):")
+    print(ev.timeline.to_ascii(width=96))
+
+    if plan.fill is not None:
+        print(f"\nbubble filling: {len(plan.fill.items)} layer placements "
+              f"across {plan.fill.num_bubbles} bubbles "
+              f"({pct(plan.fill.fill_fraction)} of bubble time used)")
+        for item in plan.fill.items[:6]:
+            tag = "partial" if item.partial else "full"
+            print(f"  bubble {item.bubble_index}: {item.component}[{item.layer}] "
+                  f"{item.samples:.0f} samples ({tag}, {item.time_ms:.1f} ms)")
+        if len(plan.fill.items) > 6:
+            print(f"  ... and {len(plan.fill.items) - 6} more")
+
+    # Step 6: lower to per-device instruction streams.
+    bubbles = extract_bubbles(ev.timeline)
+    meta = {i: (b.start, b.devices) for i, b in enumerate(bubbles)}
+    streams = lower_timeline(ev.timeline, plan.fill.items if plan.fill else (), meta)
+    print("\nfirst instructions of device 0:")
+    for instr in streams[0][:8]:
+        print(f"  {instr.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""DiffusionPipe (MLSys 2024) reproduction.
+
+Public API tour:
+
+>>> from repro import zoo, Profiler, DiffusionPipePlanner
+>>> from repro.cluster import single_node
+>>> cluster = single_node(8)
+>>> model = zoo.stable_diffusion_v2_1()
+>>> planner = DiffusionPipePlanner(model, cluster)
+>>> best = planner.plan(global_batch=256)
+>>> best.plan.throughput  # doctest: +SKIP
+...
+
+Sub-packages:
+
+* :mod:`repro.cluster` -- simulated device/topology/collective models
+* :mod:`repro.models` (+ :mod:`repro.models.zoo`) -- model descriptions
+* :mod:`repro.profiling` -- the profiler and profile database
+* :mod:`repro.schedule` -- schedule builders + discrete-event simulator
+* :mod:`repro.core` -- partitioning, bubble filling, planning (the paper)
+* :mod:`repro.baselines` -- GPipe, SPP, DeepSpeed DDP/ZeRO-3, CDM -S/-P
+* :mod:`repro.memory` -- per-device memory estimation / OOM detection
+* :mod:`repro.engine` -- numeric (NumPy) pipeline training back-end
+* :mod:`repro.harness` -- experiment drivers for every table and figure
+"""
+
+from . import cluster, models, profiling, schedule
+from .core import (
+    Bubble,
+    BubbleFiller,
+    DiffusionPipePlanner,
+    ExecutionPlan,
+    PartitionPlan,
+    PlannerOptions,
+    extract_bubbles,
+    partition_backbone,
+    partition_cdm,
+)
+from .errors import ReproError
+from .models import zoo
+from .profiling import ProfileDB, Profiler
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "cluster",
+    "models",
+    "profiling",
+    "schedule",
+    "zoo",
+    "Bubble",
+    "BubbleFiller",
+    "DiffusionPipePlanner",
+    "ExecutionPlan",
+    "PartitionPlan",
+    "PlannerOptions",
+    "extract_bubbles",
+    "partition_backbone",
+    "partition_cdm",
+    "ReproError",
+    "ProfileDB",
+    "Profiler",
+    "__version__",
+]

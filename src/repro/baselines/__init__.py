@@ -1,0 +1,29 @@
+"""Baseline training systems evaluated in §6."""
+
+from .chimera import ChimeraBaseline, ChimeraConfig
+from .cdm_strategies import (
+    CDMStrategyConfig,
+    ParallelCDMBaseline,
+    SequentialCDMBaseline,
+    single_backbone_view,
+)
+from .data_parallel import BaselineResult, DataParallelBaseline
+from .gpipe import GPipeBaseline, GPipeConfig, equal_layer_partition
+from .spp import SPPBaseline
+from .zero3 import Zero3Baseline
+
+__all__ = [
+    "ChimeraBaseline",
+    "ChimeraConfig",
+    "CDMStrategyConfig",
+    "ParallelCDMBaseline",
+    "SequentialCDMBaseline",
+    "single_backbone_view",
+    "BaselineResult",
+    "DataParallelBaseline",
+    "GPipeBaseline",
+    "GPipeConfig",
+    "equal_layer_partition",
+    "SPPBaseline",
+    "Zero3Baseline",
+]

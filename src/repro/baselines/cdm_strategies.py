@@ -1,0 +1,210 @@
+"""Data-parallel strategies for cascaded diffusion models (§6 Baselines).
+
+The paper trains CDMs with data parallelism in two ways:
+
+* **Sequential** (DeepSpeed-S / DeepSpeed-ZeRO-3-S): backbones train one
+  after the other using *all* devices.  Throughput =
+  (total batch of all backbones) / (sum of their iteration times).
+* **Parallel** (DeepSpeed-P / DeepSpeed-ZeRO-3-P): devices split evenly,
+  each partition training one backbone.  Throughput =
+  (sum of batch sizes) / (slowest backbone's iteration time).
+
+Both reuse the single-backbone DDP/ZeRO-3 cost models on per-backbone
+sub-models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..cluster.topology import ClusterSpec
+from ..errors import ConfigurationError
+from ..models.graph import ModelSpec
+from ..profiling.records import ProfileDB
+from .data_parallel import BaselineResult, DataParallelBaseline, _oom_result
+from .zero3 import Zero3Baseline
+
+
+def single_backbone_view(model: ModelSpec, backbone: str) -> ModelSpec:
+    """A sub-model containing one backbone plus every frozen component.
+
+    Frozen components are shared by all backbones of a CDM, so each view
+    keeps them (their cost is small for CDMs).
+    """
+    if backbone not in model.backbone_names:
+        raise ConfigurationError(f"{backbone!r} is not a backbone of {model.name}")
+    keep = [c for c in model.components.values() if not c.trainable]
+    keep.append(model.components[backbone])
+    pruned = []
+    names = {c.name for c in keep}
+    for comp in keep:
+        deps = tuple(d for d in comp.depends_on if d in names)
+        if deps != comp.depends_on:
+            from ..models.component import ComponentSpec
+
+            comp = ComponentSpec(
+                name=comp.name,
+                layers=comp.layers,
+                trainable=comp.trainable,
+                depends_on=deps,
+            )
+        pruned.append(comp)
+    return ModelSpec(
+        name=f"{model.name}/{backbone}",
+        components=pruned,
+        backbone_names=(backbone,),
+        self_conditioning=model.self_conditioning,
+        self_conditioning_prob=model.self_conditioning_prob,
+    )
+
+
+def _sub_cluster(cluster: ClusterSpec, num_devices: int) -> ClusterSpec:
+    """A cluster slice with ``num_devices`` devices, preserving topology."""
+    per = cluster.devices_per_machine
+    if num_devices <= per:
+        return ClusterSpec(
+            num_machines=1,
+            devices_per_machine=num_devices,
+            device_spec=cluster.device_spec,
+            intra_link=cluster.intra_link,
+            inter_link=cluster.inter_link,
+        )
+    if num_devices % per != 0:
+        raise ConfigurationError(
+            f"cannot slice {num_devices} devices from machines of {per}"
+        )
+    return ClusterSpec(
+        num_machines=num_devices // per,
+        devices_per_machine=per,
+        device_spec=cluster.device_spec,
+        intra_link=cluster.intra_link,
+        inter_link=cluster.inter_link,
+    )
+
+
+@dataclass(frozen=True)
+class CDMStrategyConfig:
+    """Which DP engine backs the strategy."""
+
+    zero3: bool = False
+
+    @property
+    def engine(self):
+        return Zero3Baseline if self.zero3 else DataParallelBaseline
+
+    @property
+    def suffix(self) -> str:
+        return "DeepSpeed-ZeRO-3" if self.zero3 else "DeepSpeed"
+
+
+class SequentialCDMBaseline:
+    """DeepSpeed(-ZeRO-3)-S: backbones train in sequence on all devices."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        cluster: ClusterSpec,
+        profile: ProfileDB,
+        config: CDMStrategyConfig | None = None,
+    ):
+        if len(model.backbone_names) < 2:
+            raise ConfigurationError("CDM strategies need >= 2 backbones")
+        self.model = model
+        self.cluster = cluster
+        self.profile = profile
+        self.config = config or CDMStrategyConfig()
+
+    @property
+    def name(self) -> str:
+        return f"{self.config.suffix}-S"
+
+    def run(self, batch_per_backbone: float) -> BaselineResult:
+        """``batch_per_backbone`` is each backbone's global batch (the
+        paper trains all backbones of a CDM at the same batch size)."""
+        total_iter = 0.0
+        worst_memory = None
+        for backbone in self.model.backbone_names:
+            view = single_backbone_view(self.model, backbone)
+            engine = self.config.engine(view, self.cluster, self.profile)
+            res = engine.run(batch_per_backbone)
+            if res.oom:
+                return _oom_result(
+                    self.name, batch_per_backbone, res.local_batch, res.memory
+                )
+            total_iter += res.iteration_ms
+            if worst_memory is None or (
+                res.memory and res.memory.peak_bytes > worst_memory.peak_bytes
+            ):
+                worst_memory = res.memory
+        n = len(self.model.backbone_names)
+        total_batch = batch_per_backbone * n
+        return BaselineResult(
+            name=self.name,
+            global_batch=batch_per_backbone,
+            local_batch=batch_per_backbone / self.cluster.world_size,
+            compute_ms=total_iter,
+            sync_ms=0.0,
+            iteration_ms=total_iter,
+            throughput=total_batch / total_iter * 1e3,
+            memory=worst_memory,
+            oom=False,
+        )
+
+
+class ParallelCDMBaseline:
+    """DeepSpeed(-ZeRO-3)-P: devices split evenly across backbones."""
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        cluster: ClusterSpec,
+        profile: ProfileDB,
+        config: CDMStrategyConfig | None = None,
+    ):
+        if len(model.backbone_names) < 2:
+            raise ConfigurationError("CDM strategies need >= 2 backbones")
+        self.model = model
+        self.cluster = cluster
+        self.profile = profile
+        self.config = config or CDMStrategyConfig()
+
+    @property
+    def name(self) -> str:
+        return f"{self.config.suffix}-P"
+
+    def run(self, batch_per_backbone: float) -> BaselineResult:
+        n = len(self.model.backbone_names)
+        world = self.cluster.world_size
+        if world % n != 0:
+            raise ConfigurationError(
+                f"cannot split {world} devices across {n} backbones"
+            )
+        share = world // n
+        sub = _sub_cluster(self.cluster, share)
+        slowest = 0.0
+        worst_memory = None
+        for backbone in self.model.backbone_names:
+            view = single_backbone_view(self.model, backbone)
+            engine = self.config.engine(view, sub, self.profile)
+            res = engine.run(batch_per_backbone)
+            if res.oom:
+                return _oom_result(
+                    self.name, batch_per_backbone, res.local_batch, res.memory
+                )
+            slowest = max(slowest, res.iteration_ms)
+            if worst_memory is None or (
+                res.memory and res.memory.peak_bytes > worst_memory.peak_bytes
+            ):
+                worst_memory = res.memory
+        total_batch = batch_per_backbone * n
+        return BaselineResult(
+            name=self.name,
+            global_batch=batch_per_backbone,
+            local_batch=batch_per_backbone / share,
+            compute_ms=slowest,
+            sync_ms=0.0,
+            iteration_ms=slowest,
+            throughput=total_batch / slowest * 1e3,
+            memory=worst_memory,
+            oom=False,
+        )

@@ -1,0 +1,239 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``models``
+    List the model zoo.
+``plan``
+    Run the DiffusionPipe front-end for one model/cluster/batch and
+    print the chosen configuration (optionally dumping the plan JSON
+    and a Chrome trace of the pipeline timeline).
+``sweep``
+    Compare DiffusionPipe against all baselines over a batch list.
+``table1`` / ``table2``
+    Print the profiling tables of §2.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable
+
+from .baselines import (
+    DataParallelBaseline,
+    GPipeBaseline,
+    SPPBaseline,
+    Zero3Baseline,
+)
+from .cluster import p4de_cluster
+from .core import DiffusionPipePlanner, PlannerOptions, extract_bubbles
+from .errors import ReproError
+from .harness import format_table, pct
+from .models import zoo
+from .profiling import Profiler
+
+MODELS: dict[str, Callable] = {
+    "sd": zoo.stable_diffusion_v2_1,
+    "controlnet": zoo.controlnet_v1_0,
+    "cdm-lsun": zoo.cdm_lsun,
+    "cdm-imagenet": zoo.cdm_imagenet,
+    "dit": zoo.dit_xl,
+}
+
+
+def _build_model(name: str, self_conditioning: bool | None):
+    if name not in MODELS:
+        raise SystemExit(f"unknown model {name!r}; options: {sorted(MODELS)}")
+    factory = MODELS[name]
+    if name in ("cdm-lsun", "cdm-imagenet"):
+        return factory()
+    if self_conditioning is None:
+        return factory()
+    return factory(self_conditioning=self_conditioning)
+
+
+def cmd_models(args: argparse.Namespace) -> int:
+    rows = []
+    for name, factory in MODELS.items():
+        model = factory()
+        rows.append(
+            [
+                name,
+                model.name,
+                ", ".join(model.backbone_names),
+                str(sum(c.num_layers for c in model.non_trainable)),
+                "yes" if model.self_conditioning else "no",
+            ]
+        )
+    print(
+        format_table(
+            ["key", "model", "backbones", "frozen layers", "self-cond"], rows
+        )
+    )
+    return 0
+
+
+def cmd_plan(args: argparse.Namespace) -> int:
+    model = _build_model(args.model, args.self_conditioning)
+    cluster = p4de_cluster(max(args.gpus // 8, 1))
+    if cluster.world_size != args.gpus:
+        raise SystemExit("--gpus must be a multiple of 8 (p4de machines)")
+    profile = Profiler(cluster).profile(model)
+    planner = DiffusionPipePlanner(
+        model,
+        cluster,
+        profile,
+        options=PlannerOptions(group_sizes=(2, 4, 8), keep_timeline=True),
+    )
+    try:
+        ev = planner.plan(args.batch)
+    except ReproError as exc:
+        print(f"planning failed: {exc}", file=sys.stderr)
+        return 1
+    plan = ev.plan
+    rows = [
+        ["configuration", plan.config_label],
+        ["iteration", f"{plan.iteration_ms:.1f} ms"],
+        ["throughput", f"{plan.throughput:.1f} samples/s"],
+        ["bubble ratio", f"{pct(plan.bubble_ratio_unfilled)} -> "
+                         f"{pct(plan.bubble_ratio_filled)}"],
+        ["NT leftover", f"{plan.leftover_ms:.1f} ms"],
+    ]
+    if plan.memory:
+        rows.append(["peak memory", f"{plan.memory.peak_bytes / 1e9:.1f} GB"])
+    print(format_table(["metric", "value"],
+                       rows, title=f"{model.name} @ batch {args.batch}"))
+    if args.out:
+        from .export import save_plan
+
+        save_plan(plan, args.out)
+        print(f"plan written to {args.out}")
+    if args.trace and ev.timeline is not None:
+        from .export import timeline_to_chrome_trace
+
+        bubbles = extract_bubbles(ev.timeline)
+        meta = {i: (b.start, b.devices) for i, b in enumerate(bubbles)}
+        timeline_to_chrome_trace(
+            ev.timeline,
+            plan.fill.items if plan.fill else (),
+            meta,
+            path=args.trace,
+        )
+        print(f"chrome trace written to {args.trace}")
+    return 0
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    model = _build_model(args.model, args.self_conditioning)
+    cluster = p4de_cluster(max(args.gpus // 8, 1))
+    profile = Profiler(cluster).profile(model)
+    opts = PlannerOptions(group_sizes=(2, 4, 8))
+    planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
+    engines = []
+    if len(model.backbone_names) == 1:
+        engines = [
+            SPPBaseline(model, cluster, profile, options=opts),
+            GPipeBaseline(model, cluster, profile),
+            DataParallelBaseline(model, cluster, profile),
+            Zero3Baseline(model, cluster, profile),
+        ]
+    rows = []
+    for batch in args.batches:
+        row = [str(batch)]
+        try:
+            row.append(f"{planner.plan(batch).plan.throughput:.0f}")
+        except ReproError:
+            row.append("OOM")
+        for eng in engines:
+            try:
+                res = eng.run(batch)
+                row.append("OOM" if res.oom else f"{res.throughput:.0f}")
+            except ReproError:
+                row.append("-")
+        rows.append(row)
+    headers = ["batch", "DiffusionPipe"] + [e.name for e in engines]
+    print(format_table(headers, rows,
+                       title=f"{model.name} on {args.gpus} GPUs (samples/s)"))
+    return 0
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    cluster = p4de_cluster(1)
+    rows = []
+    for key in ("sd", "controlnet"):
+        model = _build_model(key, None)
+        profile = Profiler(cluster).profile(model)
+        row = [model.name]
+        for b in (8, 16, 32, 64):
+            nt = sum(
+                profile.component_fwd_ms(c.name, b) for c in model.non_trainable
+            )
+            t = sum(
+                profile.component_train_ms(n, b) for n in model.backbone_names
+            )
+            row.append(pct(nt / t, 0))
+        rows.append(row)
+    print(format_table(["Model / Batch size", "8", "16", "32", "64"], rows,
+                       title="Table 1 - NT/T forward ratio"))
+    return 0
+
+
+def cmd_table2(args: argparse.Namespace) -> int:
+    rows = []
+    for key in ("sd", "controlnet"):
+        model = _build_model(key, None)
+        row = [model.name]
+        for machines in (1, 2, 4, 8):
+            cluster = p4de_cluster(machines)
+            profile = Profiler(cluster).profile(model)
+            res = DataParallelBaseline(model, cluster, profile).run(
+                8 * cluster.world_size
+            )
+            row.append(pct(res.sync_share))
+        rows.append(row)
+    print(format_table(["Model / GPU count", "8", "16", "32", "64"], rows,
+                       title="Table 2 - sync share of DDP iteration"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="DiffusionPipe reproduction CLI"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("models", help="list the model zoo").set_defaults(
+        func=cmd_models
+    )
+
+    p = sub.add_parser("plan", help="plan one training configuration")
+    p.add_argument("--model", default="sd", choices=sorted(MODELS))
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--batch", type=int, default=256)
+    p.add_argument("--self-conditioning", action="store_true", default=None)
+    p.add_argument("--out", help="write the plan JSON here")
+    p.add_argument("--trace", help="write a chrome trace here")
+    p.set_defaults(func=cmd_plan)
+
+    p = sub.add_parser("sweep", help="compare against the baselines")
+    p.add_argument("--model", default="sd", choices=sorted(MODELS))
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--batches", type=int, nargs="+",
+                   default=[64, 128, 256, 384])
+    p.add_argument("--self-conditioning", action="store_true", default=None)
+    p.set_defaults(func=cmd_sweep)
+
+    sub.add_parser("table1", help="print Table 1").set_defaults(func=cmd_table1)
+    sub.add_parser("table2", help="print Table 2").set_defaults(func=cmd_table2)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

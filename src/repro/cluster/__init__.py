@@ -1,0 +1,35 @@
+"""Simulated cluster substrate: devices, topology and collective costs."""
+
+from .collectives import (
+    DEFAULT_INTER_NODE_EFFICIENCY,
+    DEFAULT_RING_FIXED_OVERHEAD_MS,
+    CollectiveModel,
+    CommCosts,
+)
+from .device import Device, DeviceSpec, a100_40gb, a100_80gb, v100_32gb
+from .topology import (
+    EFA_400G,
+    NVSWITCH,
+    ClusterSpec,
+    LinkSpec,
+    p4de_cluster,
+    single_node,
+)
+
+__all__ = [
+    "DEFAULT_INTER_NODE_EFFICIENCY",
+    "DEFAULT_RING_FIXED_OVERHEAD_MS",
+    "CollectiveModel",
+    "CommCosts",
+    "Device",
+    "DeviceSpec",
+    "a100_40gb",
+    "a100_80gb",
+    "v100_32gb",
+    "ClusterSpec",
+    "LinkSpec",
+    "NVSWITCH",
+    "EFA_400G",
+    "p4de_cluster",
+    "single_node",
+]

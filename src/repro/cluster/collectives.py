@@ -1,0 +1,199 @@
+"""Communication cost models for the collectives DiffusionPipe uses.
+
+The partitioner's equations (3)-(6) consume bandwidth/latency constants
+``R_x`` and ``L_x`` for two communication types: ``p2p`` (inter-stage
+activation transfers) and ``ar`` (all-reduce gradient synchronisation).
+The baselines additionally need all-gather and reduce-scatter (ZeRO-3).
+
+All models are alpha-beta (latency + size/bandwidth) models:
+
+* ring all-reduce over ``n`` devices moves ``2 (n-1)/n * size`` bytes
+  through the bottleneck link and pays ``2 (n-1)`` link latencies;
+* all-gather / reduce-scatter move ``(n-1)/n * size`` and pay ``n-1``
+  latencies;
+* broadcast is modelled as a ring pipeline: ``size`` bytes + ``n-1``
+  latencies.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import ConfigurationError
+from .topology import ClusterSpec, LinkSpec
+
+
+@dataclass(frozen=True)
+class CommCosts:
+    """Flat bandwidth/latency constants for one communication type.
+
+    This is the ``R_x``/``L_x`` pair from Table 4 of the paper.
+    ``bandwidth`` bytes/ms, ``latency`` ms.
+    """
+
+    bandwidth: float
+    latency: float
+
+
+#: Achieved-fraction of the nominal inter-node bandwidth for ring
+#: collectives as a function of the number of participating machines,
+#: together with a fixed per-call overhead.  Both curves are calibrated
+#: jointly against the paper's Table 2 (sync share of iteration time for
+#: Stable Diffusion *and* ControlNet at 8/16/32/64 GPUs): solving the
+#: two models' sync times per node count for (fixed, bandwidth) pins all
+#: eight cells to within ~0.5 pp.  Efficiency > 1 at two nodes reflects
+#: hierarchical all-reduce (intra-node reduction first, so the EFA hop
+#: moves less than a naive flat ring would).
+DEFAULT_INTER_NODE_EFFICIENCY: Mapping[int, float] = {
+    1: 1.0,
+    2: 2.0,
+    4: 0.494,
+    8: 0.404,
+}
+
+#: Fixed per-all-reduce overhead (bucketing, rendezvous, kernel
+#: launches) in ms, by participating machine count; same calibration.
+DEFAULT_RING_FIXED_OVERHEAD_MS: Mapping[int, float] = {
+    1: 28.0,
+    2: 113.0,
+    4: 210.0,
+    8: 207.0,
+}
+
+
+def _interp_efficiency(curve: Mapping[int, float], machines: int) -> float:
+    """Piecewise-linear interpolation of the efficiency curve."""
+    keys = sorted(curve)
+    if machines <= keys[0]:
+        return curve[keys[0]]
+    if machines >= keys[-1]:
+        return curve[keys[-1]]
+    i = bisect_right(keys, machines)
+    k0, k1 = keys[i - 1], keys[i]
+    f = (machines - k0) / (k1 - k0)
+    return curve[k0] + f * (curve[k1] - curve[k0])
+
+
+class CollectiveModel:
+    """Answers collective-time queries against a :class:`ClusterSpec`.
+
+    ``inter_node_efficiency`` scales the achieved bandwidth of
+    multi-node ring collectives (see
+    :data:`DEFAULT_INTER_NODE_EFFICIENCY`); pass an empty mapping or
+    ``{1: 1.0}`` to disable the calibration.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        inter_node_efficiency: Mapping[int, float] | None = None,
+        ring_fixed_overhead_ms: Mapping[int, float] | None = None,
+    ):
+        self.cluster = cluster
+        self.inter_node_efficiency = dict(
+            DEFAULT_INTER_NODE_EFFICIENCY
+            if inter_node_efficiency is None
+            else inter_node_efficiency
+        )
+        self.ring_fixed_overhead_ms = dict(
+            DEFAULT_RING_FIXED_OVERHEAD_MS
+            if ring_fixed_overhead_ms is None
+            else ring_fixed_overhead_ms
+        )
+
+    def _ring_efficiency(self, ranks: Sequence[int]) -> float:
+        machines = len({self.cluster.machine_of(r) for r in ranks})
+        if machines <= 1 or not self.inter_node_efficiency:
+            return 1.0
+        return _interp_efficiency(self.inter_node_efficiency, machines)
+
+    def _ring_fixed_ms(self, ranks: Sequence[int]) -> float:
+        if not self.ring_fixed_overhead_ms:
+            return 0.0
+        machines = len({self.cluster.machine_of(r) for r in ranks})
+        return _interp_efficiency(self.ring_fixed_overhead_ms, machines)
+
+    # -- point to point ------------------------------------------------------
+
+    def p2p(self, src: int, dst: int, nbytes: float) -> float:
+        """Point-to-point transfer time between two ranks."""
+        return self.cluster.p2p_time_ms(src, dst, nbytes)
+
+    def p2p_costs(self, src: int, dst: int) -> CommCosts:
+        """R/L constants of the link between two ranks."""
+        link = self.cluster.link(src, dst)
+        return CommCosts(bandwidth=link.bandwidth, latency=link.latency)
+
+    # -- ring collectives ----------------------------------------------------
+
+    def _bottleneck(self, ranks: Sequence[int]) -> LinkSpec:
+        return self.cluster.group_link(ranks)
+
+    def allreduce(self, ranks: Sequence[int], nbytes: float) -> float:
+        """Ring all-reduce time over a device group."""
+        n = len(ranks)
+        self._check_group(n, nbytes)
+        if n == 1:
+            return 0.0
+        link = self._bottleneck(ranks)
+        bw = link.bandwidth * self._ring_efficiency(ranks)
+        moved = 2.0 * (n - 1) / n * nbytes
+        return (
+            self._ring_fixed_ms(ranks)
+            + 2.0 * (n - 1) * link.latency
+            + moved / bw
+        )
+
+    def allgather(self, ranks: Sequence[int], nbytes: float) -> float:
+        """Ring all-gather time; ``nbytes`` is the full gathered size."""
+        n = len(ranks)
+        self._check_group(n, nbytes)
+        if n == 1:
+            return 0.0
+        link = self._bottleneck(ranks)
+        bw = link.bandwidth * self._ring_efficiency(ranks)
+        moved = (n - 1) / n * nbytes
+        return self._ring_fixed_ms(ranks) + (n - 1) * link.latency + moved / bw
+
+    def reduce_scatter(self, ranks: Sequence[int], nbytes: float) -> float:
+        """Ring reduce-scatter time; ``nbytes`` is the full input size."""
+        # Symmetric to all-gather in the ring model.
+        return self.allgather(ranks, nbytes)
+
+    def broadcast(self, ranks: Sequence[int], nbytes: float) -> float:
+        """Pipelined ring broadcast time."""
+        n = len(ranks)
+        self._check_group(n, nbytes)
+        if n == 1:
+            return 0.0
+        link = self._bottleneck(ranks)
+        return (n - 1) * link.latency + nbytes / link.bandwidth
+
+    def allreduce_costs(self, ranks: Sequence[int]) -> CommCosts:
+        """Effective R_ar / L_ar constants for a group, for the DP equations.
+
+        We fold the ring factors into the constants so the partitioner can
+        use the simple ``size / R + L`` form from the paper:
+        ``allreduce(size) = size / R_ar + L_ar`` exactly.
+        """
+        n = len(ranks)
+        if n <= 0:
+            raise ConfigurationError("empty device group")
+        if n == 1:
+            return CommCosts(bandwidth=float("inf"), latency=0.0)
+        link = self._bottleneck(ranks)
+        bw = link.bandwidth * self._ring_efficiency(ranks)
+        effective_bw = bw * n / (2.0 * (n - 1))
+        effective_lat = self._ring_fixed_ms(ranks) + 2.0 * (n - 1) * link.latency
+        return CommCosts(bandwidth=effective_bw, latency=effective_lat)
+
+    # -- validation ----------------------------------------------------------
+
+    @staticmethod
+    def _check_group(n: int, nbytes: float) -> None:
+        if n <= 0:
+            raise ConfigurationError("empty device group")
+        if nbytes < 0:
+            raise ConfigurationError(f"negative collective size {nbytes}")

@@ -1,0 +1,138 @@
+"""Device (accelerator) model.
+
+The partitioning and scheduling algorithms in DiffusionPipe only ever
+consume *profiled layer execution times*; they never touch a real kernel.
+We therefore model a device analytically: a peak FLOP rate, a
+batch-dependent utilisation curve (small batches under-utilise the
+device), and a fixed per-kernel launch overhead.  The defaults are
+calibrated against the paper's A100-80GB testbed so that the published
+profile shapes (Table 1, Fig. 5, Fig. 6) are reproduced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .. import units
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class DeviceSpec:
+    """Static description of a single accelerator.
+
+    Parameters
+    ----------
+    name:
+        Human-readable device name.
+    peak_flops_per_ms:
+        Peak sustained throughput in FLOP per millisecond (dense fp16
+        tensor-core math for an A100 is ~312 TFLOP/s; sustained real
+        workloads reach a fraction of it which the utilisation curve
+        captures).
+    memory_bytes:
+        HBM capacity in bytes.
+    kernel_overhead_ms:
+        Fixed cost per layer invocation (kernel launches, Python glue).
+    max_utilisation:
+        Asymptotic fraction of peak reached at large batch sizes.
+    half_batch:
+        Batch size at which utilisation reaches half of
+        ``max_utilisation`` (saturating Michaelis-Menten curve).
+    """
+
+    name: str = "A100-80GB"
+    peak_flops_per_ms: float = units.tflops_to_flops_per_ms(312.0)
+    # Vendor gigabytes (80e9 bytes), as HBM capacity is marketed.
+    memory_bytes: float = 80e9
+    kernel_overhead_ms: float = 0.02
+    max_utilisation: float = 0.55
+    half_batch: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.peak_flops_per_ms <= 0:
+            raise ConfigurationError("peak_flops_per_ms must be positive")
+        if self.memory_bytes <= 0:
+            raise ConfigurationError("memory_bytes must be positive")
+        if not (0 < self.max_utilisation <= 1.0):
+            raise ConfigurationError("max_utilisation must be in (0, 1]")
+
+    def utilisation(self, batch_size: float) -> float:
+        """Fraction of peak FLOPs achieved at a given batch size.
+
+        A saturating curve: ``u(B) = u_max * B / (B + half_batch)``.
+        ``u(0) = 0`` by construction; callers should never ask for the
+        execution time of a zero-sample batch.
+        """
+        if batch_size < 0:
+            raise ConfigurationError(f"negative batch size {batch_size}")
+        if batch_size == 0:
+            return 0.0
+        return self.max_utilisation * batch_size / (batch_size + self.half_batch)
+
+    def effective_flops_per_ms(self, batch_size: float) -> float:
+        """Sustained FLOP/ms at a given batch size."""
+        return self.peak_flops_per_ms * self.utilisation(batch_size)
+
+    def compute_time_ms(self, flops: float, batch_size: float) -> float:
+        """Time to execute ``flops`` total FLOPs at ``batch_size``.
+
+        Includes the fixed kernel overhead once (one "layer call").
+        """
+        if flops < 0:
+            raise ConfigurationError(f"negative flops {flops}")
+        if flops == 0:
+            return self.kernel_overhead_ms
+        eff = self.effective_flops_per_ms(batch_size)
+        if eff <= 0:
+            raise ConfigurationError(
+                f"cannot compute {flops} FLOPs at batch size {batch_size}"
+            )
+        return self.kernel_overhead_ms + flops / eff
+
+
+def a100_80gb() -> DeviceSpec:
+    """The paper's testbed accelerator."""
+    return DeviceSpec()
+
+
+def a100_40gb() -> DeviceSpec:
+    """A smaller-memory A100 variant, useful for OOM experiments."""
+    return DeviceSpec(name="A100-40GB", memory_bytes=40e9)
+
+
+def v100_32gb() -> DeviceSpec:
+    """An older device for sensitivity experiments."""
+    return DeviceSpec(
+        name="V100-32GB",
+        peak_flops_per_ms=units.tflops_to_flops_per_ms(125.0),
+        memory_bytes=32e9,
+        kernel_overhead_ms=0.03,
+        max_utilisation=0.5,
+    )
+
+
+@dataclass(frozen=True)
+class Device:
+    """A concrete device instance placed in a cluster.
+
+    Attributes
+    ----------
+    rank:
+        Global rank, unique across the cluster, contiguous from zero.
+    machine:
+        Index of the host machine.
+    local_rank:
+        Rank within the host machine.
+    spec:
+        The :class:`DeviceSpec` describing the hardware.
+    """
+
+    rank: int
+    machine: int
+    local_rank: int
+    spec: DeviceSpec = field(default_factory=a100_80gb)
+
+    def __post_init__(self) -> None:
+        if self.rank < 0 or self.machine < 0 or self.local_rank < 0:
+            raise ConfigurationError("device indices must be non-negative")

@@ -1,0 +1,149 @@
+"""Cluster topology: machines, devices and the links between them.
+
+The paper's testbed is 8 Amazon EC2 p4de.24xlarge machines, each with
+8 NVIDIA A100-80GB GPUs.  Intra-node traffic travels over NVSwitch
+(600 GB/s); inter-node traffic over EFA (400 Gb/s).  The topology object
+answers one question for the rest of the system: *what bandwidth and
+latency connect two device ranks?*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from .. import units
+from ..errors import ConfigurationError
+from .device import Device, DeviceSpec, a100_80gb
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A point-to-point link abstraction.
+
+    ``bandwidth`` is in bytes/ms, ``latency`` in ms.
+    """
+
+    bandwidth: float
+    latency: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ConfigurationError("link bandwidth must be positive")
+        if self.latency < 0:
+            raise ConfigurationError("link latency must be non-negative")
+
+    def transfer_time_ms(self, nbytes: float) -> float:
+        """Time to move ``nbytes`` over this link."""
+        if nbytes < 0:
+            raise ConfigurationError(f"negative transfer size {nbytes}")
+        return self.latency + nbytes / self.bandwidth
+
+
+#: NVSwitch, 600 GB/s, ~5 microseconds latency.
+NVSWITCH = LinkSpec(bandwidth=units.gBps_to_bytes_per_ms(600.0), latency=0.005)
+
+#: EFA, 400 Gb/s, ~15 microseconds latency.
+EFA_400G = LinkSpec(bandwidth=units.gbps_to_bytes_per_ms(400.0), latency=0.015)
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster of ``num_machines`` x ``devices_per_machine``.
+
+    Devices are ranked machine-major: rank = machine * devices_per_machine
+    + local_rank, matching the paper's device chain ordering (Fig. 8).
+    """
+
+    num_machines: int = 1
+    devices_per_machine: int = 8
+    device_spec: DeviceSpec = field(default_factory=a100_80gb)
+    intra_link: LinkSpec = NVSWITCH
+    inter_link: LinkSpec = EFA_400G
+
+    def __post_init__(self) -> None:
+        if self.num_machines <= 0 or self.devices_per_machine <= 0:
+            raise ConfigurationError("cluster dimensions must be positive")
+
+    # -- structure ----------------------------------------------------------
+
+    @property
+    def world_size(self) -> int:
+        """Total number of devices."""
+        return self.num_machines * self.devices_per_machine
+
+    def device(self, rank: int) -> Device:
+        """The :class:`Device` at a global rank."""
+        self._check_rank(rank)
+        return Device(
+            rank=rank,
+            machine=rank // self.devices_per_machine,
+            local_rank=rank % self.devices_per_machine,
+            spec=self.device_spec,
+        )
+
+    def devices(self) -> list[Device]:
+        """All devices in rank order."""
+        return [self.device(r) for r in range(self.world_size)]
+
+    def machine_of(self, rank: int) -> int:
+        """Host machine index of a global rank."""
+        self._check_rank(rank)
+        return rank // self.devices_per_machine
+
+    def same_machine(self, rank_a: int, rank_b: int) -> bool:
+        """Whether two ranks share a machine (and hence NVSwitch)."""
+        return self.machine_of(rank_a) == self.machine_of(rank_b)
+
+    # -- links --------------------------------------------------------------
+
+    def link(self, rank_a: int, rank_b: int) -> LinkSpec:
+        """The link connecting two device ranks."""
+        if rank_a == rank_b:
+            # A self-link is infinitely fast for our purposes; model it as
+            # NVSwitch with zero latency so that degenerate schedules
+            # (stage i and i+1 on the same device) cost ~nothing.
+            return LinkSpec(bandwidth=self.intra_link.bandwidth, latency=0.0)
+        if self.same_machine(rank_a, rank_b):
+            return self.intra_link
+        return self.inter_link
+
+    def p2p_time_ms(self, rank_a: int, rank_b: int, nbytes: float) -> float:
+        """Point-to-point transfer time between two ranks."""
+        return self.link(rank_a, rank_b).transfer_time_ms(nbytes)
+
+    def group_link(self, ranks: Sequence[int]) -> LinkSpec:
+        """The narrowest link within a group (bottleneck for collectives)."""
+        ranks = list(ranks)
+        if not ranks:
+            raise ConfigurationError("empty device group")
+        for r in ranks:
+            self._check_rank(r)
+        machines = {self.machine_of(r) for r in ranks}
+        return self.intra_link if len(machines) <= 1 else self.inter_link
+
+    def spans_machines(self, ranks: Iterable[int]) -> bool:
+        """Whether a group of ranks crosses a machine boundary."""
+        return len({self.machine_of(r) for r in ranks}) > 1
+
+    # -- helpers -------------------------------------------------------------
+
+    def _check_rank(self, rank: int) -> None:
+        if not (0 <= rank < self.world_size):
+            raise ConfigurationError(
+                f"rank {rank} out of range for world size {self.world_size}"
+            )
+
+
+def p4de_cluster(num_machines: int = 1) -> ClusterSpec:
+    """The paper's testbed: p4de.24xlarge machines (8x A100-80GB each)."""
+    return ClusterSpec(num_machines=num_machines, devices_per_machine=8)
+
+
+def single_node(num_devices: int = 8, device_spec: DeviceSpec | None = None) -> ClusterSpec:
+    """A single machine with ``num_devices`` accelerators."""
+    return ClusterSpec(
+        num_machines=1,
+        devices_per_machine=num_devices,
+        device_spec=device_spec or a100_80gb(),
+    )

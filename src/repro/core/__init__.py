@@ -1,0 +1,77 @@
+"""DiffusionPipe's core: partitioning, bubble filling, planning."""
+
+from .bubbles import (
+    DEFAULT_MIN_BUBBLE_MS,
+    Bubble,
+    extract_bubbles,
+    longest_bubble,
+    total_bubble_device_time,
+)
+from .cross_iteration import IterationEstimate, compose_iteration
+from .filling import (
+    VALID_LOCAL_BATCHES,
+    BubbleFiller,
+    ComponentState,
+    fill_one_bubble,
+    full_batch_candidates,
+    valid_partial_samples,
+)
+from .instructions import Instruction, Op, format_streams, lower_timeline
+from .partition import (
+    PartitionContext,
+    StageCosts,
+    partition_backbone,
+    pareto_insert,
+)
+from .partition_cdm import (
+    CDM_COMM_SCALE,
+    CDMPartitionContext,
+    group_backbones,
+    partition_cdm,
+)
+from .plan import (
+    ExecutionPlan,
+    FillItem,
+    FillReport,
+    MemoryReport,
+    PartitionPlan,
+    StageAssignment,
+)
+from .planner import DiffusionPipePlanner, EvaluatedConfig, PlannerOptions
+
+__all__ = [
+    "DEFAULT_MIN_BUBBLE_MS",
+    "Bubble",
+    "extract_bubbles",
+    "longest_bubble",
+    "total_bubble_device_time",
+    "IterationEstimate",
+    "compose_iteration",
+    "VALID_LOCAL_BATCHES",
+    "BubbleFiller",
+    "ComponentState",
+    "fill_one_bubble",
+    "full_batch_candidates",
+    "valid_partial_samples",
+    "Instruction",
+    "Op",
+    "format_streams",
+    "lower_timeline",
+    "PartitionContext",
+    "StageCosts",
+    "partition_backbone",
+    "pareto_insert",
+    "CDM_COMM_SCALE",
+    "CDMPartitionContext",
+    "group_backbones",
+    "partition_cdm",
+    "ExecutionPlan",
+    "FillItem",
+    "FillReport",
+    "MemoryReport",
+    "PartitionPlan",
+    "StageAssignment",
+    "DiffusionPipePlanner",
+    "EvaluatedConfig",
+    "PlannerOptions",
+]

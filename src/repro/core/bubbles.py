@@ -1,0 +1,138 @@
+"""Pipeline-bubble identification (§5).
+
+A bubble is a tuple ``(start time, end time, idle devices)`` — a maximal
+time span over which the *same* set of devices is idle.  Bubbles shorter
+than 10 ms are discarded (the cost of staging inputs/outputs for filling
+exceeds the gain, paper footnote 3).
+
+Extraction sweeps the timeline's per-device idle spans: every span edge
+is a breakpoint; between consecutive breakpoints the idle-device set is
+constant; adjacent segments with identical sets merge into one bubble.
+For filling purposes, synchronisation (all-reduce) intervals count as
+*available* — the non-trainable part may overlap gradient sync
+(Fig. 9's ``N(F)``) — while for bubble-ratio reporting they do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import FillingError
+from ..schedule.timeline import Timeline
+
+#: paper footnote 3: only bubbles longer than 10 ms are worth filling
+DEFAULT_MIN_BUBBLE_MS = 10.0
+
+
+@dataclass(frozen=True)
+class Bubble:
+    """A maximal constant-idle-set span of the pipeline timeline.
+
+    ``devices`` are logical device indices; ``weight`` is the number of
+    physical devices they represent (sum of stage replication factors)
+    — the ``d`` used when running non-trainable layers data-parallel in
+    the bubble.
+    """
+
+    start: float
+    end: float
+    devices: tuple[int, ...]
+    weight: int
+
+    def __post_init__(self) -> None:
+        if self.end <= self.start:
+            raise FillingError("bubble must have positive duration")
+        if not self.devices:
+            raise FillingError("bubble must have at least one idle device")
+        if self.weight <= 0:
+            raise FillingError("bubble weight must be positive")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    @property
+    def device_time(self) -> float:
+        """Idle device-time of the bubble (``T_b * d_b``)."""
+        return self.duration * self.weight
+
+
+def extract_bubbles(
+    timeline: Timeline,
+    *,
+    min_duration_ms: float = DEFAULT_MIN_BUBBLE_MS,
+    include_sync_spans: bool = True,
+    horizon: float | None = None,
+) -> list[Bubble]:
+    """Identify bubbles in a simulated timeline, chronologically.
+
+    ``include_sync_spans=True`` treats gradient-sync intervals as
+    available time (the filling view); ``False`` gives the strict-idle
+    view used for bubble-ratio metrics.
+    """
+    if min_duration_ms < 0:
+        raise FillingError("min_duration_ms must be non-negative")
+    horizon = timeline.makespan if horizon is None else horizon
+    if horizon <= 0:
+        return []
+
+    idle_by_device = {
+        d: timeline.idle_spans(
+            d, horizon, include_sync_as_busy=not include_sync_spans
+        )
+        for d in range(timeline.num_devices)
+    }
+
+    # Breakpoints at every idle-span edge.
+    edges = {0.0, horizon}
+    for spans in idle_by_device.values():
+        for sp in spans:
+            edges.add(sp.start)
+            edges.add(sp.end)
+    points = sorted(edges)
+
+    def idle_set_at(t0: float, t1: float) -> tuple[int, ...]:
+        mid = (t0 + t1) / 2.0
+        out = []
+        for d, spans in idle_by_device.items():
+            for sp in spans:
+                if sp.start <= mid < sp.end:
+                    out.append(d)
+                    break
+        return tuple(out)
+
+    bubbles: list[Bubble] = []
+    cur_set: tuple[int, ...] = ()
+    cur_start = 0.0
+    for i in range(len(points) - 1):
+        t0, t1 = points[i], points[i + 1]
+        if t1 <= t0:
+            continue
+        s = idle_set_at(t0, t1)
+        if s != cur_set:
+            if cur_set:
+                bubbles.append(_mk_bubble(timeline, cur_start, t0, cur_set))
+            cur_set = s
+            cur_start = t0
+    if cur_set:
+        bubbles.append(_mk_bubble(timeline, cur_start, points[-1], cur_set))
+
+    return [b for b in bubbles if b.duration >= min_duration_ms]
+
+
+def _mk_bubble(
+    timeline: Timeline, start: float, end: float, devices: tuple[int, ...]
+) -> Bubble:
+    weight = sum(timeline.device_weights[d] for d in devices)
+    return Bubble(start=start, end=end, devices=devices, weight=weight)
+
+
+def total_bubble_device_time(bubbles: Sequence[Bubble]) -> float:
+    """Sum of ``T_b * d_b`` over bubbles."""
+    return sum(b.device_time for b in bubbles)
+
+
+def longest_bubble(bubbles: Sequence[Bubble]) -> Bubble | None:
+    """The bubble with the longest duration (Fig. 6's comparison line)."""
+    return max(bubbles, key=lambda b: b.duration, default=None)

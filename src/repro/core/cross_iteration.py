@@ -1,0 +1,100 @@
+"""Cross-iteration pipelining (§3.2).
+
+DiffusionPipe fills the bubbles of iteration *k*'s backbone pipeline
+with the non-trainable computation of iteration *k+1*: the frozen
+encoders of the next batch run inside the current pipeline's idle time,
+their outputs are collected into micro-batches at the iteration
+boundary, and the next iteration's backbone training starts from them.
+Only the very first iteration pays the non-trainable part eagerly.
+
+The steady-state iteration time is therefore
+
+    iteration = pipeline makespan + leftover NT work after the flush,
+
+and the schedule remains mathematically equivalent to synchronous
+data-parallel training (verified numerically by
+:mod:`repro.engine.equivalence`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..schedule.timeline import Timeline
+from .plan import FillReport
+
+
+@dataclass(frozen=True)
+class IterationEstimate:
+    """Steady-state and warm-up timing of one training configuration."""
+
+    pipeline_ms: float            # simulated backbone pipeline makespan
+    leftover_ms: float            # NT remainder executed after the flush
+    iteration_ms: float           # steady-state iteration time
+    warmup_extra_ms: float        # extra time of iteration 0 (eager NT run)
+    bubble_ratio_unfilled: float  # before filling (strict idle / iter)
+    bubble_ratio_filled: float    # after filling
+
+    @property
+    def saved_ms(self) -> float:
+        """Time saved per iteration vs running NT serially before the
+        pipeline (the Fig. 9 'saved time')."""
+        return max(0.0, self.warmup_extra_ms - self.leftover_ms)
+
+
+def compose_iteration(
+    timeline: Timeline,
+    fill: FillReport | None,
+    nt_total_ms: float,
+    *,
+    total_devices: int | None = None,
+) -> IterationEstimate:
+    """Combine a simulated backbone timeline with a filling outcome.
+
+    Parameters
+    ----------
+    timeline:
+        The simulated backbone pipeline (one iteration, no NT work).
+    fill:
+        Bubble-filling report, or None when filling is disabled —
+        in which case the whole NT part runs serially before the
+        pipeline (the backbone-pipeline-only mode of Fig. 9 top).
+    nt_total_ms:
+        The NT part's serial execution time (data-parallel across the
+        pipeline group) — used for the unfilled baseline and warm-up.
+    """
+    pipeline_ms = timeline.makespan
+    devices = (
+        total_devices if total_devices is not None else timeline.total_physical_devices
+    )
+
+    if fill is None:
+        iteration = pipeline_ms + nt_total_ms
+        denom = iteration * devices
+        ratio = timeline.bubble_device_time() / denom if denom > 0 else 0.0
+        return IterationEstimate(
+            pipeline_ms=pipeline_ms,
+            leftover_ms=nt_total_ms,
+            iteration_ms=iteration,
+            warmup_extra_ms=0.0,
+            bubble_ratio_unfilled=ratio,
+            bubble_ratio_filled=ratio,
+        )
+
+    iteration = pipeline_ms + fill.leftover_ms
+    idle_before = timeline.bubble_device_time()
+    denom_before = (pipeline_ms + nt_total_ms) * devices
+    ratio_before = idle_before / denom_before if denom_before > 0 else 0.0
+
+    idle_after = max(0.0, idle_before - fill.filled_device_time_ms)
+    denom_after = iteration * devices
+    ratio_after = idle_after / denom_after if denom_after > 0 else 0.0
+
+    return IterationEstimate(
+        pipeline_ms=pipeline_ms,
+        leftover_ms=fill.leftover_ms,
+        iteration_ms=iteration,
+        warmup_extra_ms=nt_total_ms,
+        bubble_ratio_unfilled=ratio_before,
+        bubble_ratio_filled=ratio_after,
+    )

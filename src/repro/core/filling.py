@@ -1,0 +1,430 @@
+"""Greedy pipeline-bubble filling (§5, Algorithms 1 and 2).
+
+Bubbles are filled chronologically.  For each bubble, Algorithm 2 (FFC)
+enumerates candidates of *full-batch* layers from all currently-ready
+non-trainable components — prefixes of each component's remaining layer
+chain whose combined execution time fits the bubble — and Algorithm 1
+then augments every candidate with at most one *partial-batch* layer
+(the next unscheduled layer of some component, run on a reduced number
+of samples chosen from the empirical local-batch menu
+{4, 8, 12, 16, 24, 32, 48, 64, 96}), finally picking the augmented
+candidate with the longest execution time that still fits.
+
+Layers inside a bubble run data-parallel over the bubble's ``d`` idle
+devices at local batch ``B/d``.  A partially-processed layer becomes the
+head of its component with the leftover samples treated as a full batch
+in subsequent bubbles (Fig. 12).  Components obey their dependency DAG:
+a component joins the ready set only once all of its dependencies have
+fully executed.  Whatever does not fit in any bubble executes after the
+pipeline flush, data-parallel over all devices.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..errors import FillingError
+from ..models.graph import ModelSpec
+from ..profiling.records import ProfileDB
+from .bubbles import Bubble
+from .plan import FillItem, FillReport
+
+#: §5's empirical local-batch-size menu for partial-batch layers
+VALID_LOCAL_BATCHES: tuple[int, ...] = (4, 8, 12, 16, 24, 32, 48, 64, 96)
+
+#: safety cap on FFC candidate enumeration (the paper's models have at
+#: most three simultaneously-ready components, far below this)
+DEFAULT_MAX_CANDIDATES = 4096
+
+
+@dataclass
+class ComponentState:
+    """Mutable filling progress of one non-trainable component.
+
+    ``next_layer`` is the first not-fully-processed layer;
+    ``remaining`` is how many of the batch's samples that layer still
+    has to process (== full batch for a fresh layer).
+    """
+
+    name: str
+    num_layers: int
+    batch: float
+    next_layer: int = 0
+    remaining: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.remaining == 0.0:
+            self.remaining = self.batch
+
+    @property
+    def done(self) -> bool:
+        return self.next_layer >= self.num_layers
+
+    def layer_batch(self, offset: int) -> float:
+        """Samples still to process for the ``offset``-th remaining layer."""
+        return self.remaining if offset == 0 else self.batch
+
+    def consume_full(self, count: int) -> None:
+        """Mark ``count`` leading remaining layers as fully processed."""
+        if count < 0 or self.next_layer + count > self.num_layers:
+            raise FillingError(
+                f"{self.name}: cannot consume {count} layers at "
+                f"{self.next_layer}/{self.num_layers}"
+            )
+        if count > 0:
+            self.next_layer += count
+            self.remaining = self.batch
+
+    def consume_partial(self, layer: int, samples: float) -> None:
+        """Process ``samples`` of the head layer."""
+        if layer != self.next_layer:
+            raise FillingError(
+                f"{self.name}: partial batch must target the head layer "
+                f"{self.next_layer}, got {layer}"
+            )
+        if samples <= 0 or samples > self.remaining + 1e-9:
+            raise FillingError(
+                f"{self.name}: invalid partial sample count {samples} "
+                f"(remaining {self.remaining})"
+            )
+        self.remaining -= samples
+        if self.remaining <= 1e-9:
+            self.next_layer += 1
+            self.remaining = self.batch
+
+
+@dataclass(frozen=True)
+class _Candidate:
+    """An FFC candidate: per-ready-component counts of full-batch layers."""
+
+    counts: tuple[int, ...]
+    time_ms: float
+
+
+def full_batch_candidates(
+    profile: ProfileDB,
+    ready: Sequence[ComponentState],
+    bubble_ms: float,
+    idle_devices: int,
+    *,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> list[_Candidate]:
+    """Algorithm 2 (FFC): all maximal-prefix combinations that fit.
+
+    Implemented iteratively over components (the paper's recursion
+    unrolled): for component ``i`` every feasible prefix length
+    ``k in {k0, ..., 0}`` branches the search with the remaining bubble
+    time reduced accordingly.
+    """
+    if bubble_ms < 0:
+        raise FillingError("bubble time must be non-negative")
+    if idle_devices <= 0:
+        raise FillingError("idle device count must be positive")
+
+    partials: list[tuple[tuple[int, ...], float]] = [((), 0.0)]
+    for comp in ready:
+        # Per-layer times for this component's remaining chain.
+        times: list[float] = []
+        t_cum = 0.0
+        offset = 0
+        while comp.next_layer + offset < comp.num_layers:
+            b_local = comp.layer_batch(offset) / idle_devices
+            t = profile.fwd_ms(comp.name, comp.next_layer + offset, b_local)
+            if t_cum + t > bubble_ms:
+                break
+            t_cum += t
+            times.append(t)
+            offset += 1
+        prefix_time = [0.0]
+        for t in times:
+            prefix_time.append(prefix_time[-1] + t)
+
+        nxt: list[tuple[tuple[int, ...], float]] = []
+        for counts, used in partials:
+            # Largest k that still fits after the time already used.
+            k0 = 0
+            while k0 < len(times) and used + prefix_time[k0 + 1] <= bubble_ms + 1e-9:
+                k0 += 1
+            for k in range(k0, -1, -1):
+                nxt.append((counts + (k,), used + prefix_time[k]))
+        # Cap the enumeration, preferring candidates that use more time.
+        if len(nxt) > max_candidates:
+            nxt.sort(key=lambda cu: -cu[1])
+            nxt = nxt[:max_candidates]
+        partials = nxt
+
+    return [_Candidate(counts=c, time_ms=t) for c, t in partials]
+
+
+def valid_partial_samples(
+    batch: float,
+    idle_devices: int,
+    remaining: float,
+    menu: Sequence[int] = VALID_LOCAL_BATCHES,
+) -> list[float]:
+    """``getValidNumSamples``: total sample counts allowed for a
+    partial-batch layer in a bubble with ``idle_devices`` idle devices.
+
+    The *local* batch (samples per device) must come from the empirical
+    menu, and the total must not exceed the layer's remaining samples.
+    """
+    out = []
+    for local in menu:
+        total = float(local * idle_devices)
+        if total <= remaining + 1e-9 and total <= batch + 1e-9:
+            out.append(total)
+    return out
+
+
+@dataclass(frozen=True)
+class BubbleFill:
+    """Chosen content of one bubble."""
+
+    bubble_index: int
+    items: tuple[FillItem, ...]
+    time_ms: float
+
+
+def fill_one_bubble(
+    profile: ProfileDB,
+    ready: Sequence[ComponentState],
+    bubble: Bubble,
+    bubble_index: int,
+    *,
+    enable_partial_batch: bool = True,
+    partial_batch_menu: Sequence[int] = VALID_LOCAL_BATCHES,
+    max_candidates: int = DEFAULT_MAX_CANDIDATES,
+) -> BubbleFill:
+    """Algorithm 1: choose the best filling for one bubble.
+
+    Returns the filling (possibly empty) *without* mutating states;
+    the caller applies it via :func:`apply_fill`.
+    """
+    d = bubble.weight
+    tb = bubble.duration
+    candidates = full_batch_candidates(
+        profile, ready, tb, d, max_candidates=max_candidates
+    )
+    if not candidates:
+        return BubbleFill(bubble_index, (), 0.0)
+
+    best_items: tuple[FillItem, ...] = ()
+    best_time = -1.0
+    for cand in candidates:
+        base_items = _candidate_items(profile, ready, cand, d, bubble_index)
+        base_time = cand.time_ms
+        # Augment with at most one partial-batch layer (line 2-6 of Alg. 1).
+        options: list[tuple[float, tuple[FillItem, ...]]] = [
+            (base_time, tuple(base_items))
+        ]
+        if enable_partial_batch:
+            for h, comp in enumerate(ready):
+                layer = comp.next_layer + cand.counts[h]
+                if layer >= comp.num_layers:
+                    continue
+                remaining = comp.layer_batch(cand.counts[h])
+                budget = tb - base_time
+                chosen: tuple[float, float] | None = None
+                for samples in valid_partial_samples(
+                    comp.batch, d, remaining, partial_batch_menu
+                ):
+                    t = profile.fwd_ms(comp.name, layer, samples / d)
+                    if t <= budget + 1e-9:
+                        if chosen is None or samples > chosen[0]:
+                            chosen = (samples, t)
+                if chosen is not None:
+                    item = FillItem(
+                        component=comp.name,
+                        layer=layer,
+                        samples=chosen[0],
+                        time_ms=chosen[1],
+                        bubble_index=bubble_index,
+                        partial=True,
+                    )
+                    options.append((base_time + chosen[1], tuple(base_items) + (item,)))
+        for t, items in options:
+            if t > best_time + 1e-12:
+                best_time = t
+                best_items = items
+
+    return BubbleFill(bubble_index, best_items, max(best_time, 0.0))
+
+
+def _candidate_items(
+    profile: ProfileDB,
+    ready: Sequence[ComponentState],
+    cand: _Candidate,
+    idle_devices: int,
+    bubble_index: int,
+) -> list[FillItem]:
+    items: list[FillItem] = []
+    for i, comp in enumerate(ready):
+        for off in range(cand.counts[i]):
+            layer = comp.next_layer + off
+            samples = comp.layer_batch(off)
+            t = profile.fwd_ms(comp.name, layer, samples / idle_devices)
+            items.append(
+                FillItem(
+                    component=comp.name,
+                    layer=layer,
+                    samples=samples,
+                    time_ms=t,
+                    bubble_index=bubble_index,
+                    partial=samples < comp.batch,
+                )
+            )
+    return items
+
+
+def apply_fill(
+    states: Mapping[str, ComponentState], fill: BubbleFill
+) -> None:
+    """Advance component states according to a chosen bubble filling."""
+    # Full-batch advances first (items are emitted head-first per
+    # component), then the partial tail.
+    full_counts: dict[str, int] = {}
+    partial: list[FillItem] = []
+    for item in fill.items:
+        state = states[item.component]
+        head = state.next_layer + full_counts.get(item.component, 0)
+        if item.layer == head and abs(
+            item.samples - state.layer_batch(full_counts.get(item.component, 0))
+        ) < 1e-9:
+            full_counts[item.component] = full_counts.get(item.component, 0) + 1
+        else:
+            partial.append(item)
+    for name, count in full_counts.items():
+        states[name].consume_full(count)
+    for item in partial:
+        states[item.component].consume_partial(item.layer, item.samples)
+
+
+class BubbleFiller:
+    """Drives §5 end to end: ready-set tracking + per-bubble Alg. 1.
+
+    Parameters
+    ----------
+    profile:
+        Layer timing database.
+    model:
+        The diffusion model (provides the non-trainable DAG).
+    batch:
+        Full batch size ``B`` that the non-trainable part processes per
+        iteration (the pipeline-group batch).
+    enable_partial_batch:
+        Ablation flag (Fig. 15's "partial-batch layer disabled").
+    """
+
+    def __init__(
+        self,
+        profile: ProfileDB,
+        model: ModelSpec,
+        batch: float,
+        *,
+        enable_partial_batch: bool = True,
+        partial_batch_menu: Sequence[int] = VALID_LOCAL_BATCHES,
+        max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    ):
+        if batch <= 0:
+            raise FillingError("batch must be positive")
+        self.profile = profile
+        self.model = model
+        self.batch = float(batch)
+        self.enable_partial_batch = enable_partial_batch
+        self.partial_batch_menu = tuple(partial_batch_menu)
+        self.max_candidates = max_candidates
+        self.states: dict[str, ComponentState] = {
+            comp.name: ComponentState(
+                name=comp.name,
+                num_layers=profile.num_layers(comp.name),
+                batch=self.batch,
+            )
+            for comp in model.non_trainable
+        }
+
+    # -- ready-set management -----------------------------------------------------
+
+    def _done_names(self) -> set[str]:
+        done = {n for n, s in self.states.items() if s.done}
+        # Trainable components never gate the non-trainable DAG here:
+        # their outputs belong to the *previous* iteration under
+        # cross-iteration pipelining (§3.2).
+        done |= {c.name for c in self.model.components.values() if c.trainable}
+        return done
+
+    def ready_components(self) -> list[ComponentState]:
+        """States of components whose dependencies are all complete."""
+        done = self._done_names()
+        ready = []
+        for comp in self.model.non_trainable:
+            state = self.states[comp.name]
+            if state.done:
+                continue
+            if all(dep in done for dep in comp.depends_on):
+                ready.append(state)
+        return ready
+
+    # -- main drive -------------------------------------------------------------
+
+    def fill(
+        self, bubbles: Sequence[Bubble], leftover_devices: int = 1
+    ) -> FillReport:
+        """Fill bubbles chronologically; return the complete report.
+
+        ``leftover_devices`` is the data-parallel width available for
+        whatever does not fit in bubbles (normally the pipeline group
+        size ``D``)."""
+        ordered = sorted(enumerate(bubbles), key=lambda ib: ib[1].start)
+        all_items: list[FillItem] = []
+        filled_device_time = 0.0
+        for index, bubble in ordered:
+            ready = self.ready_components()
+            if not ready:
+                if all(s.done for s in self.states.values()):
+                    break
+                continue
+            fill = fill_one_bubble(
+                self.profile,
+                ready,
+                bubble,
+                index,
+                enable_partial_batch=self.enable_partial_batch,
+                partial_batch_menu=self.partial_batch_menu,
+                max_candidates=self.max_candidates,
+            )
+            if not fill.items:
+                continue
+            apply_fill(self.states, fill)
+            all_items.extend(fill.items)
+            filled_device_time += fill.time_ms * bubble.weight
+
+        leftover = self.leftover_ms(leftover_devices)
+        return FillReport(
+            items=tuple(all_items),
+            filled_device_time_ms=filled_device_time,
+            bubble_device_time_ms=sum(b.device_time for b in bubbles),
+            leftover_ms=leftover,
+            num_bubbles=len(bubbles),
+            complete=leftover == 0.0,
+        )
+
+    def leftover_ms(self, total_devices: int | None = None) -> float:
+        """Time to run the unscheduled remainder after the flush,
+        data-parallel over ``total_devices`` (default: the weight sum
+        implied by the model's pipeline group is unknown here, so the
+        caller usually passes it; without it we assume 1 device)."""
+        d = total_devices if total_devices is not None else 1
+        if d <= 0:
+            raise FillingError("total_devices must be positive")
+        total = 0.0
+        for comp in self.model.non_trainable:
+            state = self.states[comp.name]
+            off = 0
+            while state.next_layer + off < state.num_layers:
+                samples = state.layer_batch(off)
+                total += self.profile.fwd_ms(
+                    comp.name, state.next_layer + off, samples / d
+                )
+                off += 1
+        return total

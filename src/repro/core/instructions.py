@@ -1,0 +1,175 @@
+"""Pipeline instruction IR (Fig. 7, step 6).
+
+After the planner picks the optimal overall schedule, it lowers the
+schedule into per-device instruction streams that the back-end engine
+executes: load micro-batch, forward/backward a stage, run non-trainable
+layers, send/receive activations, all-reduce gradients.  The same IR is
+consumed by the numeric execution engine (:mod:`repro.engine`) and
+rendered in examples.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..errors import ScheduleError
+from ..schedule.tasks import Task, TaskKind
+from ..schedule.timeline import Timeline
+from .plan import FillItem
+
+
+class Op(enum.Enum):
+    """Instruction opcodes of the back-end (Fig. 7's right column)."""
+
+    LOAD_MICRO_BATCH = "load_micro_batch"
+    FORWARD = "forward"
+    SC_FORWARD = "sc_forward"
+    BACKWARD = "backward"
+    NT_FORWARD = "nt_forward"
+    SEND = "send"
+    RECV = "recv"
+    ALLREDUCE_GRADS = "allreduce_grads"
+    OPTIMIZER_STEP = "optimizer_step"
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One back-end instruction.
+
+    ``args`` carries op-specific payload: stage/micro-batch indices for
+    compute ops, peer device for communication ops, component/layer/
+    samples for non-trainable work.
+    """
+
+    op: Op
+    device: int
+    args: Mapping[str, object] = field(default_factory=dict)
+    est_ms: float = 0.0
+
+    def describe(self) -> str:
+        parts = [self.op.value]
+        for k in sorted(self.args):
+            parts.append(f"{k}={self.args[k]}")
+        return " ".join(parts)
+
+
+_LINK_RE = re.compile(r"^link:(\d+)->(\d+)$")
+
+
+def _comm_endpoints(task: Task) -> tuple[int, int]:
+    m = _LINK_RE.match(task.resource)
+    if not m:
+        raise ScheduleError(
+            f"comm task {task.task_id} has non-link resource {task.resource}"
+        )
+    return int(m.group(1)), int(m.group(2))
+
+
+def lower_timeline(
+    timeline: Timeline,
+    fill_items: Sequence[FillItem] = (),
+    bubbles_by_index: Mapping[int, tuple[float, tuple[int, ...]]] | None = None,
+) -> dict[int, list[Instruction]]:
+    """Lower a simulated timeline into per-device instruction streams.
+
+    Instructions appear in execution (start-time) order.  Communication
+    tasks lower to a SEND on the source and a RECV on the destination.
+    Bubble-filling items lower to NT_FORWARD instructions on every idle
+    device of their bubble, ordered by the bubble's start time
+    (``bubbles_by_index`` maps bubble index -> (start time, devices)).
+    """
+    events: list[tuple[float, int, Instruction]] = []
+    seq = 0
+    for iv in sorted(timeline.intervals, key=lambda v: (v.start, v.end)):
+        t = iv.task
+        if t.kind == TaskKind.COMM:
+            src, dst = _comm_endpoints(t)
+            if src == dst:
+                continue
+            payload = dict(t.meta)
+            events.append(
+                (
+                    iv.start,
+                    seq,
+                    Instruction(Op.SEND, src, {**payload, "peer": dst}, iv.duration),
+                )
+            )
+            seq += 1
+            events.append(
+                (
+                    iv.start,
+                    seq,
+                    Instruction(Op.RECV, dst, {**payload, "peer": src}, iv.duration),
+                )
+            )
+            seq += 1
+            continue
+        if t.device is None:
+            continue
+        op = {
+            TaskKind.FORWARD: Op.FORWARD,
+            TaskKind.SC_FORWARD: Op.SC_FORWARD,
+            TaskKind.BACKWARD: Op.BACKWARD,
+            TaskKind.SYNC: Op.ALLREDUCE_GRADS,
+            TaskKind.NT_FORWARD: Op.NT_FORWARD,
+        }.get(t.kind)
+        if op is None:
+            continue
+        events.append(
+            (iv.start, seq, Instruction(op, t.device, dict(t.meta), iv.duration))
+        )
+        seq += 1
+
+    if fill_items:
+        if bubbles_by_index is None:
+            raise ScheduleError("fill items require bubble metadata")
+        for item in fill_items:
+            if item.bubble_index not in bubbles_by_index:
+                raise ScheduleError(
+                    f"fill item references unknown bubble {item.bubble_index}"
+                )
+            start, devices = bubbles_by_index[item.bubble_index]
+            for dev in devices:
+                events.append(
+                    (
+                        start,
+                        seq,
+                        Instruction(
+                            Op.NT_FORWARD,
+                            dev,
+                            {
+                                "component": item.component,
+                                "layer": item.layer,
+                                "samples": item.samples,
+                                "partial": item.partial,
+                            },
+                            item.time_ms,
+                        ),
+                    )
+                )
+                seq += 1
+
+    streams: dict[int, list[Instruction]] = {
+        d: [] for d in range(timeline.num_devices)
+    }
+    for _, _, instr in sorted(events, key=lambda e: (e[0], e[1])):
+        streams.setdefault(instr.device, []).append(instr)
+
+    # Close every stream that ran an all-reduce with an optimiser step.
+    for dev, stream in streams.items():
+        if any(i.op == Op.ALLREDUCE_GRADS for i in stream):
+            stream.append(Instruction(Op.OPTIMIZER_STEP, dev, {}, 0.0))
+    return streams
+
+
+def format_streams(streams: Mapping[int, Sequence[Instruction]]) -> str:
+    """Human-readable rendering of per-device instruction streams."""
+    lines = []
+    for dev in sorted(streams):
+        lines.append(f"device {dev}:")
+        for instr in streams[dev]:
+            lines.append(f"  {instr.describe()}")
+    return "\n".join(lines)

@@ -1,0 +1,418 @@
+"""Dynamic-programming backbone partitioning (paper §4.1 and §4.3).
+
+The partitioner minimises the upper bound on FIFO-1F1B pipeline
+execution time
+
+    T_max = (M + 2S - 2) * T0 + T0^{S-C}            (Eqn. 1)
+
+over all ways of cutting the backbone's ``L`` layers into ``S``
+contiguous stages, where
+
+* ``T0`` (per stage, Eqn. 3) is the larger of the stage's
+  forward+backward compute per micro-batch and its inter-stage
+  communication time;
+* ``T0^{S-C}`` (Eqns. 4-6) is the largest gap between a stage's gradient
+  all-reduce time and the compensation (overlap) time available to it —
+  the backward work of all layers *before* the stage, which is exactly
+  what still runs on the critical path when the stage's sync starts.
+  The prefix-sum form is the lower bound the paper adopts because a
+  sub-problem does not yet know how those earlier layers are split.
+
+With self-conditioning (§4.3) the per-stage bound gains a second
+forward pass (Eqn. 17) and the objective a feedback term ``T_F``
+(Eqn. 18); the optimiser minimises the *expectation* over the
+self-conditioning activation probability ``p``.
+
+Because the objective is monotone in the pair ``(T0, T0^{S-C})`` — a
+triple with self-conditioning — an exact solution only needs the Pareto
+frontier of per-prefix values, which this module tracks explicitly
+(states are ``(layers-consumed, stages-used)``; frontier sizes stay
+small in practice).  Setting ``r != D/S`` per stage (heterogeneous
+replication) is supported behind a flag with devices added to the
+state, matching the general recursion (Eqns. 7-9); the default forces
+homogeneous replication as in the paper's evaluation (footnote 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from ..cluster.collectives import CommCosts
+from ..errors import ConfigurationError, PartitionError
+from ..profiling.records import ProfileDB
+from .plan import PartitionPlan, StageAssignment
+
+
+@dataclass(frozen=True)
+class PartitionContext:
+    """Everything the stage cost functions need.
+
+    ``sync_group_size`` is the number of devices each stage's gradients
+    all-reduce over (stage replicas x data-parallel degree).
+    """
+
+    profile: ProfileDB
+    component: str
+    batch_per_group: float
+    num_micro_batches: int
+    p2p: CommCosts
+    allreduce: CommCosts
+    self_conditioning: bool = False
+    self_conditioning_prob: float = 0.5
+
+    @property
+    def micro_batch(self) -> float:
+        return self.batch_per_group / self.num_micro_batches
+
+
+class StageCosts:
+    """Per-stage cost evaluator with prefix-sum acceleration.
+
+    All quantities are per micro-batch at the stage's local batch size
+    ``micro_batch / r``.
+    """
+
+    def __init__(self, ctx: PartitionContext, replicas: int):
+        if replicas <= 0:
+            raise ConfigurationError("replicas must be positive")
+        self.ctx = ctx
+        self.replicas = replicas
+        prof = ctx.profile
+        comp = ctx.component
+        n = prof.num_layers(comp)
+        self.num_layers = n
+        b = ctx.micro_batch / replicas
+        if b <= 0:
+            raise ConfigurationError("local batch must be positive")
+        self.local_batch = b
+        # Prefix sums over layers: fwd/bwd times, gradient bytes.
+        self._fwd = [0.0] * (n + 1)
+        self._bwd = [0.0] * (n + 1)
+        self._grad = [0.0] * (n + 1)
+        for i in range(n):
+            self._fwd[i + 1] = self._fwd[i] + prof.fwd_ms(comp, i, b)
+            self._bwd[i + 1] = self._bwd[i] + prof.bwd_ms(comp, i, b)
+            self._grad[i + 1] = self._grad[i] + prof.layer(comp, i).grad_bytes
+
+    # -- pieces ----------------------------------------------------------------
+
+    def fwd(self, lo: int, hi: int) -> float:
+        return self._fwd[hi] - self._fwd[lo]
+
+    def bwd(self, lo: int, hi: int) -> float:
+        return self._bwd[hi] - self._bwd[lo]
+
+    def grad_bytes(self, lo: int, hi: int) -> float:
+        return self._grad[hi] - self._grad[lo]
+
+    def boundary_comm_ms(self, lo: int, forwards: int = 1) -> float:
+        """Communication term of Eqn. 3 (or Eqn. 17 for ``forwards=2``).
+
+        ``lo`` is the stage's first layer; the stage receives the output
+        of layer ``lo - 1`` and returns its gradient, so both directions
+        move ``C_{lo-1,lo}`` bytes.  Stage 0 receives loader input,
+        modelled as free.
+        """
+        if lo == 0:
+            return 0.0
+        nbytes = self.ctx.profile.boundary_bytes(
+            self.ctx.component, lo - 1, self.local_batch
+        )
+        total = (forwards + 1) * nbytes / self.ctx.p2p.bandwidth
+        return total + (forwards + 1 + 1) * self.ctx.p2p.latency
+
+    # -- per-stage bounds ---------------------------------------------------------
+
+    def t0(self, lo: int, hi: int) -> float:
+        """Eqn. 3: max(compute, communication) for stage ``[lo, hi)``."""
+        return max(self.fwd(lo, hi) + self.bwd(lo, hi), self.boundary_comm_ms(lo))
+
+    def t0_sc(self, lo: int, hi: int) -> float:
+        """Eqn. 17: the self-conditioning variant (two forward passes)."""
+        return max(
+            2.0 * self.fwd(lo, hi) + self.bwd(lo, hi),
+            self.boundary_comm_ms(lo, forwards=2),
+        )
+
+    def sync_ms(self, lo: int, hi: int) -> float:
+        """Eqn. 4: gradient all-reduce time of stage ``[lo, hi)``."""
+        g = self.grad_bytes(lo, hi)
+        if g == 0:
+            return 0.0
+        return g / self.ctx.allreduce.bandwidth + self.ctx.allreduce.latency
+
+    def compensation_ms(self, lo: int) -> float:
+        """Eqn. 5 (lower bound): backward time of all layers before the
+        stage, i.e. the work still running when the stage's sync starts."""
+        return self.bwd(0, lo)
+
+    def sync_gap(self, lo: int, hi: int) -> float:
+        """Eqn. 6: ``T_S(s) - T_C(s)``."""
+        return self.sync_ms(lo, hi) - self.compensation_ms(lo)
+
+    def feedback_ms(self) -> float:
+        """``T_F`` of §4.3: last-stage output fed back to stage 0."""
+        nbytes = self.ctx.profile.boundary_bytes(
+            self.ctx.component, self.num_layers - 1, self.local_batch
+        )
+        return nbytes / self.ctx.p2p.bandwidth + self.ctx.p2p.latency
+
+
+# -- Pareto machinery -------------------------------------------------------------
+
+
+def pareto_insert(
+    frontier: list[tuple], candidate: tuple, value_dims: int
+) -> bool:
+    """Insert ``candidate`` whose first ``value_dims`` entries are the
+    objective coordinates; drop it (return False) if dominated, and prune
+    points it dominates."""
+    cvals = candidate[:value_dims]
+    keep: list[tuple] = []
+    for existing in frontier:
+        evals = existing[:value_dims]
+        if all(e <= c for e, c in zip(evals, cvals)):
+            # existing dominates (or equals) the candidate
+            return False
+        if not all(c <= e for c, e in zip(cvals, evals)):
+            keep.append(existing)
+        # else: candidate dominates `existing` -> drop it
+    keep.append(candidate)
+    frontier[:] = keep
+    return True
+
+
+def partition_backbone(
+    ctx: PartitionContext,
+    num_stages: int,
+    group_size: int,
+    *,
+    heterogeneous: bool = False,
+) -> PartitionPlan:
+    """Optimally cut one backbone into ``num_stages`` stages (§4.1/§4.3).
+
+    With ``heterogeneous=False`` every stage replicates on
+    ``group_size / num_stages`` devices (the paper's evaluation setting,
+    footnote 2) and the DP state is (layers, stages).  With
+    ``heterogeneous=True`` the per-stage replica count is free and the
+    remaining-device count joins the state (Eqns. 7-9).
+    """
+    S = num_stages
+    D = group_size
+    M = ctx.num_micro_batches
+    L = ctx.profile.num_layers(ctx.component)
+    if S <= 0 or D <= 0:
+        raise ConfigurationError("num_stages and group_size must be positive")
+    if S > L:
+        raise PartitionError(
+            f"cannot cut {L} layers into {S} non-empty stages"
+        )
+    if S > D:
+        raise PartitionError(f"cannot place {S} stages on {D} devices")
+
+    if heterogeneous:
+        return _partition_heterogeneous(ctx, S, D)
+
+    if D % S != 0:
+        raise PartitionError(
+            f"homogeneous replication needs S | D (got S={S}, D={D}); "
+            "use heterogeneous=True otherwise"
+        )
+    r = D // S
+    costs = StageCosts(ctx, r)
+    plan_stages, w, w_sc, y, obj = _solve_chain(ctx, costs, L, S)
+    stages = tuple(
+        StageAssignment(ctx.component, lo, hi, replicas=r) for lo, hi in plan_stages
+    )
+    return PartitionPlan(
+        down=stages,
+        num_stages=S,
+        num_micro_batches=M,
+        group_size=D,
+        batch_per_group=ctx.batch_per_group,
+        t_max_ms=obj,
+        w_ms=_expected_w(ctx, w, w_sc),
+        y_ms=y,
+        self_conditioning=ctx.self_conditioning,
+    )
+
+
+def _expected_w(ctx: PartitionContext, w: float, w_sc: float) -> float:
+    if not ctx.self_conditioning:
+        return w
+    p = ctx.self_conditioning_prob
+    return p * w_sc + (1.0 - p) * w
+
+
+def _objective(
+    ctx: PartitionContext, S: int, w: float, w_sc: float, y: float, tf: float
+) -> float:
+    """Expected T_max over the self-conditioning coin flip (§4.3)."""
+    M = ctx.num_micro_batches
+    coeff = M + 2 * S - 2
+    vanilla = coeff * w + y
+    if not ctx.self_conditioning:
+        return vanilla
+    p = ctx.self_conditioning_prob
+    sc = coeff * w_sc + y + tf
+    return p * sc + (1.0 - p) * vanilla
+
+
+def _solve_chain(
+    ctx: PartitionContext, costs: StageCosts, L: int, S: int
+) -> tuple[list[tuple[int, int]], float, float, float, float]:
+    """Pareto DP over prefixes for a fixed replica count.
+
+    Returns (stage slices, W, W_sc, Y, objective).
+    """
+    # frontier[l] for the current stage count: list of
+    # (w, w_sc, y, cut, parent_index) — the first three are objective
+    # coordinates, cut/parent enable backtracking.
+    prev: list[list[tuple]] = [[] for _ in range(L + 1)]
+    prev[0] = [(0.0, 0.0, float("-inf"), -1, -1)]
+    history: list[list[list[tuple]]] = [prev]
+
+    for s in range(1, S + 1):
+        cur: list[list[tuple]] = [[] for _ in range(L + 1)]
+        # A prefix of l layers in s stages needs l >= s and leaves at
+        # least S - s layers for the remaining stages.
+        for l in range(s, L - (S - s) + 1):
+            frontier: list[tuple] = []
+            for c in range(s - 1, l):
+                parents = prev[c]
+                if not parents:
+                    continue
+                t0 = costs.t0(c, l)
+                t0_sc = costs.t0_sc(c, l) if ctx.self_conditioning else t0
+                gap = costs.sync_gap(c, l)
+                for pi, parent in enumerate(parents):
+                    pw, pwsc, py = parent[0], parent[1], parent[2]
+                    cand = (
+                        max(pw, t0),
+                        max(pwsc, t0_sc),
+                        max(py, gap),
+                        c,
+                        pi,
+                    )
+                    pareto_insert(frontier, cand, 3)
+            cur[l] = frontier
+        history.append(cur)
+        prev = cur
+
+    final = prev[L]
+    if not final:
+        raise PartitionError(
+            f"no feasible partition of {L} layers into {S} stages"
+        )
+    tf = costs.feedback_ms() if ctx.self_conditioning else 0.0
+    best = min(
+        final,
+        key=lambda e: (_objective(ctx, S, e[0], e[1], e[2], tf), e[0], e[2]),
+    )
+    obj = _objective(ctx, S, best[0], best[1], best[2], tf)
+
+    # Backtrack the cut positions.
+    cuts: list[int] = []
+    l, entry = L, best
+    for s in range(S, 0, -1):
+        c = entry[3]
+        cuts.append(c)
+        entry = history[s - 1][c][entry[4]]
+        l = c
+    cuts.reverse()
+    slices = [(cuts[i], cuts[i + 1] if i + 1 < S else L) for i in range(S)]
+    return slices, best[0], best[1], best[2], obj
+
+
+def _partition_heterogeneous(
+    ctx: PartitionContext, S: int, D: int
+) -> PartitionPlan:
+    """General DP with per-stage replica counts (Eqns. 7-9).
+
+    State: (layers consumed, stages used, devices consumed) -> Pareto
+    frontier of (W, W_sc, Y) with backtracking info (cut, replicas,
+    parent index).  Stage costs depend on the stage's own replica count,
+    so a :class:`StageCosts` is built per candidate ``r``.
+    """
+    L = ctx.profile.num_layers(ctx.component)
+    costs_by_r = {r: StageCosts(ctx, r) for r in range(1, D + 1)}
+
+    # history[s][(l, d)] -> frontier entries (w, w_sc, y, cut, r, parent)
+    empty: dict[tuple[int, int], list[tuple]] = {}
+    history: list[dict[tuple[int, int], list[tuple]]] = [
+        {(0, 0): [(0.0, 0.0, float("-inf"), -1, 0, -1)]}
+    ]
+    for s in range(1, S + 1):
+        cur: dict[tuple[int, int], list[tuple]] = {}
+        for (pl, pd), parents in history[s - 1].items():
+            for l in range(pl + 1, L - (S - s) + 1):
+                for r in range(1, D - pd - (S - s) + 1):
+                    costs = costs_by_r[r]
+                    t0 = costs.t0(pl, l)
+                    t0_sc = costs.t0_sc(pl, l) if ctx.self_conditioning else t0
+                    gap = costs.sync_gap(pl, l)
+                    key = (l, pd + r)
+                    frontier = cur.setdefault(key, [])
+                    for pi, parent in enumerate(parents):
+                        cand = (
+                            max(parent[0], t0),
+                            max(parent[1], t0_sc),
+                            max(parent[2], gap),
+                            pl,
+                            r,
+                            pi,
+                        )
+                        pareto_insert(frontier, cand, 3)
+        history.append(cur)
+
+    # Accept any full assignment that uses all L layers; devices may be
+    # partially used but using all of them never hurts, so prefer d = D.
+    finals = [
+        (key, e)
+        for key, entries in history[S].items()
+        if key[0] == L
+        for e in entries
+    ]
+    if not finals:
+        raise PartitionError(
+            f"no feasible heterogeneous partition of {L} layers into {S} "
+            f"stages on {D} devices"
+        )
+    tf_by_r = {
+        r: (costs_by_r[r].feedback_ms() if ctx.self_conditioning else 0.0)
+        for r in costs_by_r
+    }
+    best_key, best = min(
+        finals,
+        key=lambda ke: (
+            _objective(ctx, S, ke[1][0], ke[1][1], ke[1][2], tf_by_r[ke[1][4]]),
+            -ke[0][1],
+        ),
+    )
+    obj = _objective(ctx, S, best[0], best[1], best[2], tf_by_r[best[4]])
+
+    # Backtrack.
+    assignments: list[StageAssignment] = []
+    l, d, entry = best_key[0], best_key[1], best
+    for s in range(S, 0, -1):
+        c, r = entry[3], entry[4]
+        assignments.append(StageAssignment(ctx.component, c, l, replicas=r))
+        parent_key = (c, d - r)
+        entry = history[s - 1][parent_key][entry[5]]
+        l, d = c, d - r
+    assignments.reverse()
+    for i, a in enumerate(assignments):
+        # StageAssignment is positional in the chain; re-check contiguity.
+        if i > 0 and a.lo != assignments[i - 1].hi:
+            raise PartitionError("backtracking produced a non-contiguous chain")
+
+    return PartitionPlan(
+        down=tuple(assignments),
+        num_stages=S,
+        num_micro_batches=ctx.num_micro_batches,
+        group_size=D,
+        batch_per_group=ctx.batch_per_group,
+        t_max_ms=obj,
+        w_ms=_expected_w(ctx, best[0], best[1]),
+        y_ms=best[2],
+        self_conditioning=ctx.self_conditioning,
+    )

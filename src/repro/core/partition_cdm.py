@@ -1,0 +1,254 @@
+"""Bidirectional partitioning for cascaded diffusion models (§4.2).
+
+Two backbones pipeline over the same device chain in opposite
+directions.  Device-chain position ``k`` hosts the down backbone's stage
+``k`` and the up backbone's stage ``S-1-k``, so walking the chain
+forward assigns a growing *prefix* of the down backbone and a growing
+*suffix* of the up backbone.  The DP state is therefore
+``(down-prefix, up-suffix, positions-filled)`` with a Pareto frontier of
+``(W, Y)`` values, where
+
+    W = max over placed stages of T0 (Eqn. 10, using the 2x-enlarged
+        communication of competing bidirectional transfers),
+    Y = max over placed stages of T_S - T_C (Eqn. 11),
+
+and the objective is ``(M_CDM + 2S - 2) W + Y`` (Eqn. 12) with
+``M_CDM = M_down + M_up`` paired forward/backward stages in the stable
+phase.
+
+Models with more than two backbones are split into two direction groups
+whose stage chains are concatenated (§4.2's grouping rule); see
+:func:`group_backbones`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import ConfigurationError, PartitionError
+from ..profiling.records import ProfileDB
+from .partition import PartitionContext, StageCosts, pareto_insert
+from .plan import PartitionPlan, StageAssignment
+
+#: the paper enlarges communication by 2x for bidirectional pipelines
+CDM_COMM_SCALE = 2.0
+
+
+@dataclass(frozen=True)
+class CDMPartitionContext:
+    """Inputs for the two-backbone partitioner.
+
+    ``down`` / ``up`` are single-backbone contexts sharing batch and
+    communication constants; their ``component`` fields name the two
+    backbones.  Communication inside stage costs is scaled by
+    ``comm_scale`` to model link competition.
+    """
+
+    down: PartitionContext
+    up: PartitionContext
+    comm_scale: float = CDM_COMM_SCALE
+
+    def __post_init__(self) -> None:
+        if self.down.num_micro_batches <= 0 or self.up.num_micro_batches <= 0:
+            raise ConfigurationError("micro-batch counts must be positive")
+        if self.comm_scale <= 0:
+            raise ConfigurationError("comm_scale must be positive")
+
+    @property
+    def m_cdm(self) -> int:
+        """Paired forward/backward stage count of the stable phase."""
+        return self.down.num_micro_batches + self.up.num_micro_batches
+
+
+class _ScaledCosts(StageCosts):
+    """Stage costs with the bidirectional communication enlargement."""
+
+    def __init__(self, ctx: PartitionContext, replicas: int, comm_scale: float):
+        super().__init__(ctx, replicas)
+        self._comm_scale = comm_scale
+
+    def boundary_comm_ms(self, lo: int, forwards: int = 1) -> float:
+        return super().boundary_comm_ms(lo, forwards) * self._comm_scale
+
+
+def partition_cdm(
+    ctx: CDMPartitionContext,
+    num_stages: int,
+    group_size: int,
+    *,
+    cut_step: int = 1,
+    max_frontier: int = 8,
+) -> PartitionPlan:
+    """Optimal bidirectional partition of two backbones (Eqns. 13-16).
+
+    Homogeneous replication (r = D / S) as in the paper's evaluation.
+
+    ``cut_step > 1`` restricts stage boundaries to multiples of the step
+    (chain ends always allowed), shrinking the O(L^2) transition space
+    for long backbones at negligible quality cost on near-uniform
+    chains.  ``max_frontier`` caps each state's Pareto set, keeping the
+    lowest-``W`` entries (frontiers are tiny in practice; the cap is a
+    worst-case guard).
+    """
+    S = num_stages
+    D = group_size
+    if S <= 0 or D <= 0:
+        raise ConfigurationError("num_stages and group_size must be positive")
+    if cut_step <= 0:
+        raise ConfigurationError("cut_step must be positive")
+    if D % S != 0:
+        raise PartitionError(f"homogeneous replication needs S | D (S={S}, D={D})")
+    r = D // S
+
+    ld = ctx.down.profile.num_layers(ctx.down.component)
+    lu = ctx.up.profile.num_layers(ctx.up.component)
+    if S > ld or S > lu:
+        raise PartitionError(
+            f"cannot cut backbones of {ld}/{lu} layers into {S} stages"
+        )
+
+    down_costs = _ScaledCosts(ctx.down, r, ctx.comm_scale)
+    up_costs = _ScaledCosts(ctx.up, r, ctx.comm_scale)
+
+    def cut_points(n: int) -> list[int]:
+        """Interior boundary positions allowed by ``cut_step``."""
+        pts = sorted({p for p in range(0, n + 1) if p % cut_step == 0} | {0, n})
+        return pts
+
+    cuts_d = cut_points(ld)
+    # Up-backbone boundaries are addressed as suffix lengths ``b``; the
+    # layer positions they induce are ``lu - b``.
+    cuts_u = cut_points(lu)
+    pts_u = sorted({lu - b for b in cuts_u})
+
+    # Pre-compute per-slice stage bounds for both backbones.
+    def slice_tables(costs: StageCosts, pts: list[int]):
+        t0 = {}
+        gap = {}
+        for i, a in enumerate(pts):
+            for b in pts[i + 1:]:
+                t0[(a, b)] = costs.t0(a, b)
+                gap[(a, b)] = costs.sync_gap(a, b)
+        return t0, gap
+
+    t0_d, gap_d = slice_tables(down_costs, cuts_d)
+    t0_u, gap_u = slice_tables(up_costs, pts_u)
+
+    # DP over chain positions.  State (a, b): down prefix a assigned,
+    # up suffix of length b assigned.  Frontier entries:
+    # (W, Y, prev_a, prev_b, parent_index).
+    frontiers: list[dict[tuple[int, int], list[tuple]]] = [
+        {(0, 0): [(0.0, float("-inf"), -1, -1, -1)]}
+    ]
+    for k in range(1, S + 1):
+        cur: dict[tuple[int, int], list[tuple]] = {}
+        remaining = S - k
+        for (pa, pb), parents in frontiers[k - 1].items():
+            # Down stage k-1 covers [pa, a); up stage S-k covers
+            # [lu - b, lu - pb).
+            for a in cuts_d:
+                if a <= pa or a > ld - remaining:
+                    continue
+                if remaining > 0 and a == ld:
+                    continue
+                td = t0_d[(pa, a)]
+                gd = gap_d[(pa, a)]
+                for b in cuts_u:
+                    if b <= pb or b > lu - remaining:
+                        continue
+                    u_lo, u_hi = lu - b, lu - pb
+                    tu = t0_u[(u_lo, u_hi)]
+                    gu = gap_u[(u_lo, u_hi)]
+                    w_stage = max(td, tu)
+                    y_stage = max(gd, gu)
+                    key = (a, b)
+                    frontier = cur.setdefault(key, [])
+                    for pi, parent in enumerate(parents):
+                        cand = (
+                            max(parent[0], w_stage),
+                            max(parent[1], y_stage),
+                            pa,
+                            pb,
+                            pi,
+                        )
+                        pareto_insert(frontier, cand, 2)
+                    if len(frontier) > max_frontier:
+                        frontier.sort(key=lambda e: (e[0], e[1]))
+                        del frontier[max_frontier:]
+        frontiers.append(cur)
+
+    final = frontiers[S].get((ld, lu), [])
+    if not final:
+        raise PartitionError(
+            f"no feasible bidirectional partition into {S} stages"
+        )
+    coeff = ctx.m_cdm + 2 * S - 2
+    best = min(final, key=lambda e: (coeff * e[0] + e[1], e[0]))
+    obj = coeff * best[0] + best[1]
+
+    # Backtrack both chains.
+    down_cuts: list[tuple[int, int]] = []
+    up_cuts: list[tuple[int, int]] = []
+    a, b, entry = ld, lu, best
+    for k in range(S, 0, -1):
+        pa, pb = entry[2], entry[3]
+        down_cuts.append((pa, a))
+        up_cuts.append((lu - b, lu - pb))
+        entry = frontiers[k - 1][(pa, pb)][entry[4]]
+        a, b = pa, pb
+    down_cuts.reverse()
+    # up stage index j runs the slice assigned at chain position S-1-j;
+    # up_cuts was collected for positions S-1..0, i.e. up stages 0..S-1.
+    up_slices = up_cuts
+
+    down = tuple(
+        StageAssignment(ctx.down.component, lo, hi, replicas=r)
+        for lo, hi in down_cuts
+    )
+    up = tuple(
+        StageAssignment(ctx.up.component, lo, hi, replicas=r)
+        for lo, hi in up_slices
+    )
+    return PartitionPlan(
+        down=down,
+        up=up,
+        num_stages=S,
+        num_micro_batches=ctx.down.num_micro_batches,
+        group_size=D,
+        batch_per_group=ctx.down.batch_per_group,
+        t_max_ms=obj,
+        w_ms=best[0],
+        y_ms=best[1],
+        self_conditioning=False,
+    )
+
+
+def group_backbones(
+    profile: ProfileDB, backbones: list[str], batch: float
+) -> tuple[list[str], list[str]]:
+    """Split >2 backbones into two direction groups (§4.2).
+
+    Groups are balanced greedily by total forward+backward time so the
+    two concatenated chains have similar load (longest-processing-time
+    heuristic).  Returns (down group, up group), each in cascade order.
+    """
+    if len(backbones) < 2:
+        raise ConfigurationError("grouping needs at least two backbones")
+    weights = {
+        name: profile.component_train_ms(name, batch) for name in backbones
+    }
+    down: list[str] = []
+    up: list[str] = []
+    down_w = up_w = 0.0
+    for name in sorted(backbones, key=lambda n: -weights[n]):
+        if down_w <= up_w:
+            down.append(name)
+            down_w += weights[name]
+        else:
+            up.append(name)
+            up_w += weights[name]
+    # Restore cascade order within each group.
+    order = {name: i for i, name in enumerate(backbones)}
+    down.sort(key=order.__getitem__)
+    up.sort(key=order.__getitem__)
+    return down, up

@@ -1,0 +1,407 @@
+"""The DiffusionPipe planner: Fig. 7's front-end, steps 2-5.
+
+Given a model, a cluster and a global batch size, the planner sweeps the
+pipeline hyper-parameters of Table 3 — stage count ``S``, micro-batch
+count ``M`` and pipeline-group size ``D`` (world = D x data-parallel
+degree) — and for each feasible combination:
+
+1. runs the dynamic-programming partitioner (§4) for the backbone(s);
+2. builds the FIFO-1F1B (or bidirectional, for cascaded models)
+   schedule and simulates it on the cluster model;
+3. extracts pipeline bubbles and fills them with the non-trainable
+   part under cross-iteration pipelining (§5, §3.2);
+4. estimates the steady-state iteration time and checks device memory;
+
+and finally returns the configuration with the highest throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+from ..cluster.collectives import CollectiveModel, CommCosts
+from ..cluster.topology import ClusterSpec
+from ..errors import ConfigurationError, PartitionError
+from ..models.graph import ModelSpec
+from ..profiling.profiler import Profiler
+from ..profiling.records import ProfileDB
+from ..schedule.bidirectional import build_bidirectional
+from ..schedule.onef1b import build_1f1b
+from ..schedule.simulator import simulate
+from ..schedule.stages import StageExec
+from ..schedule.timeline import Timeline
+from .bubbles import DEFAULT_MIN_BUBBLE_MS, extract_bubbles
+from .cross_iteration import compose_iteration
+from .filling import VALID_LOCAL_BATCHES, BubbleFiller
+from .partition import PartitionContext, partition_backbone
+from .partition_cdm import CDMPartitionContext, partition_cdm
+from .plan import ExecutionPlan, FillReport, PartitionPlan, StageAssignment
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Knobs of the planner search and the bubble-filling ablations."""
+
+    max_stages: int = 4
+    micro_batch_counts: tuple[int, ...] = (1, 2, 3, 4, 6, 8, 12, 16)
+    group_sizes: tuple[int, ...] | None = None   # None: divisors of world
+    enable_bubble_filling: bool = True
+    enable_partial_batch: bool = True
+    min_bubble_ms: float = DEFAULT_MIN_BUBBLE_MS
+    partial_batch_menu: tuple[int, ...] = VALID_LOCAL_BATCHES
+    heterogeneous_replication: bool = False
+    keep_timeline: bool = False
+    check_memory: bool = True
+    #: stage-boundary granularity for the (quadratic) CDM partitioner;
+    #: 1 = exact, 2 halves the transition space for long backbones
+    cdm_cut_step: int = 2
+
+    def __post_init__(self) -> None:
+        if self.max_stages < 2:
+            raise ConfigurationError("max_stages must be at least 2")
+        if not self.micro_batch_counts:
+            raise ConfigurationError("micro_batch_counts must be non-empty")
+
+
+@dataclass(frozen=True)
+class EvaluatedConfig:
+    """An :class:`ExecutionPlan` plus optional retained timeline(s)."""
+
+    plan: ExecutionPlan
+    timeline: Timeline | None = None
+    timeline_sc: Timeline | None = None
+
+
+class DiffusionPipePlanner:
+    """Front-end entry point.
+
+    Parameters
+    ----------
+    model / cluster:
+        The training job.
+    profile:
+        Pre-computed :class:`ProfileDB`; profiled on the fly when
+        omitted (Fig. 7 step 1).
+    options:
+        Search and ablation knobs.
+    """
+
+    def __init__(
+        self,
+        model: ModelSpec,
+        cluster: ClusterSpec,
+        profile: ProfileDB | None = None,
+        options: PlannerOptions | None = None,
+    ):
+        self.model = model
+        self.cluster = cluster
+        self.profile = profile or Profiler(cluster).profile(model)
+        self.options = options or PlannerOptions()
+        self.collectives = CollectiveModel(cluster)
+        if len(model.backbone_names) > 2:
+            raise ConfigurationError(
+                "the planner handles one or two backbones; group larger "
+                "cascades with repro.core.partition_cdm.group_backbones first"
+            )
+
+    # -- search space -------------------------------------------------------------
+
+    def candidate_configs(self, global_batch: float) -> Iterator[tuple[int, int, int]]:
+        """Yield feasible (D, S, M) combinations for a global batch."""
+        world = self.cluster.world_size
+        opts = self.options
+        group_sizes = opts.group_sizes or tuple(
+            d for d in range(2, world + 1) if world % d == 0
+        )
+        for D in group_sizes:
+            if D < 2 or D > world or world % D != 0:
+                continue
+            dp = world // D
+            if global_batch % dp != 0:
+                continue
+            batch_per_group = global_batch / dp
+            for S in range(2, min(opts.max_stages, D) + 1):
+                if not opts.heterogeneous_replication and D % S != 0:
+                    continue
+                r = max(D // S, 1)
+                for M in opts.micro_batch_counts:
+                    if batch_per_group % M != 0:
+                        continue
+                    if batch_per_group / M / r < 1:
+                        continue
+                    yield (D, S, M)
+
+    # -- communication constants ----------------------------------------------------
+
+    def _p2p_costs(self, group_size: int) -> CommCosts:
+        """R/L of inter-stage transfers for a pipeline group.
+
+        Groups that fit in a machine use NVSwitch, larger groups EFA.
+        """
+        link = self.cluster.group_link(list(range(group_size)))
+        return CommCosts(bandwidth=link.bandwidth, latency=link.latency)
+
+    def _allreduce_costs(self, group_size: int, stage_replicas: int) -> CommCosts:
+        """R/L of a stage's gradient all-reduce.
+
+        A stage's sync group spans its ``r`` replicas inside the group
+        and its copies across the ``world/D`` data-parallel groups
+        (Fig. 8's layout: groups are contiguous rank blocks).
+        """
+        dp = self.cluster.world_size // group_size
+        ranks = [
+            g * group_size + j for g in range(dp) for j in range(stage_replicas)
+        ]
+        return self.collectives.allreduce_costs(ranks)
+
+    # -- evaluation of one configuration ----------------------------------------------
+
+    def evaluate(
+        self, global_batch: float, group_size: int, num_stages: int, num_micro: int
+    ) -> EvaluatedConfig | None:
+        """Fully evaluate one (D, S, M) configuration.
+
+        Returns None when no feasible partition exists or the plan does
+        not fit in memory.
+        """
+        D, S, M = group_size, num_stages, num_micro
+        world = self.cluster.world_size
+        if world % D != 0:
+            raise ConfigurationError(f"group size {D} !| world {world}")
+        dp = world // D
+        batch_per_group = global_batch / dp
+
+        try:
+            partition = self._partition(batch_per_group, D, S, M)
+        except PartitionError:
+            return None
+
+        memory = None
+        if self.options.check_memory:
+            # Deferred import: repro.memory depends on repro.core.plan.
+            from ..memory.estimator import pipeline_memory_report
+
+            memory = pipeline_memory_report(
+                self.model,
+                partition,
+                capacity_bytes=self.cluster.device_spec.memory_bytes,
+            )
+            if not memory.fits:
+                return None
+
+        nt_total = self._nt_serial_ms(batch_per_group, D)
+
+        if self.model.self_conditioning and not partition.is_bidirectional:
+            ev_plain = self._simulate_and_fill(
+                partition, batch_per_group, sc=False, nt_total=nt_total
+            )
+            ev_sc = self._simulate_and_fill(
+                partition, batch_per_group, sc=True, nt_total=nt_total
+            )
+            p = self.model.self_conditioning_prob
+            iteration = (1 - p) * ev_plain[0].iteration_ms + p * ev_sc[0].iteration_ms
+            ratio_unfilled = (
+                (1 - p) * ev_plain[0].bubble_ratio_unfilled
+                + p * ev_sc[0].bubble_ratio_unfilled
+            )
+            ratio_filled = (
+                (1 - p) * ev_plain[0].bubble_ratio_filled
+                + p * ev_sc[0].bubble_ratio_filled
+            )
+            pipeline_ms = (1 - p) * ev_plain[0].pipeline_ms + p * ev_sc[0].pipeline_ms
+            leftover = (1 - p) * ev_plain[0].leftover_ms + p * ev_sc[0].leftover_ms
+            fill = ev_plain[1]
+            timeline, timeline_sc = ev_plain[2], ev_sc[2]
+        else:
+            est, fill, timeline = self._simulate_and_fill(
+                partition, batch_per_group, sc=False, nt_total=nt_total
+            )
+            iteration = est.iteration_ms
+            ratio_unfilled = est.bubble_ratio_unfilled
+            ratio_filled = est.bubble_ratio_filled
+            pipeline_ms = est.pipeline_ms
+            leftover = est.leftover_ms
+            timeline_sc = None
+
+        samples_per_iter = global_batch * (2 if partition.is_bidirectional else 1)
+        throughput = samples_per_iter / iteration * 1e3  # samples/s
+
+        plan = ExecutionPlan(
+            model_name=self.model.name,
+            partition=partition,
+            data_parallel_degree=dp,
+            global_batch=global_batch,
+            pipeline_ms=pipeline_ms,
+            leftover_ms=leftover,
+            iteration_ms=iteration,
+            throughput=throughput,
+            bubble_ratio_unfilled=ratio_unfilled,
+            bubble_ratio_filled=ratio_filled,
+            fill=fill,
+            memory=memory,
+        )
+        return EvaluatedConfig(
+            plan=plan,
+            timeline=timeline if self.options.keep_timeline else None,
+            timeline_sc=timeline_sc if self.options.keep_timeline else None,
+        )
+
+    # -- planning ----------------------------------------------------------------------
+
+    def candidate_plans(self, global_batch: float) -> list[EvaluatedConfig]:
+        """Evaluate every feasible configuration."""
+        out = []
+        for D, S, M in self.candidate_configs(global_batch):
+            ev = self.evaluate(global_batch, D, S, M)
+            if ev is not None:
+                out.append(ev)
+        return out
+
+    def plan(self, global_batch: float) -> EvaluatedConfig:
+        """Pick the highest-throughput configuration (Fig. 7 step 5)."""
+        candidates = self.candidate_plans(global_batch)
+        if not candidates:
+            raise ConfigurationError(
+                f"no feasible configuration for global batch {global_batch} "
+                f"on {self.cluster.world_size} devices"
+            )
+        return max(candidates, key=lambda ev: ev.plan.throughput)
+
+    # -- internals -----------------------------------------------------------------------
+
+    def _partition(
+        self, batch_per_group: float, D: int, S: int, M: int
+    ) -> PartitionPlan:
+        p2p = self._p2p_costs(D)
+        r = D // S if D % S == 0 else 1
+        ar = self._allreduce_costs(D, r)
+        names = self.model.backbone_names
+        if len(names) == 1:
+            ctx = PartitionContext(
+                profile=self.profile,
+                component=names[0],
+                batch_per_group=batch_per_group,
+                num_micro_batches=M,
+                p2p=p2p,
+                allreduce=ar,
+                self_conditioning=self.model.self_conditioning,
+                self_conditioning_prob=self.model.self_conditioning_prob,
+            )
+            return partition_backbone(
+                ctx, S, D, heterogeneous=self.options.heterogeneous_replication
+            )
+        ctx_down = PartitionContext(
+            profile=self.profile,
+            component=names[0],
+            batch_per_group=batch_per_group,
+            num_micro_batches=M,
+            p2p=p2p,
+            allreduce=ar,
+        )
+        ctx_up = replace(ctx_down, component=names[1])
+        return partition_cdm(
+            CDMPartitionContext(down=ctx_down, up=ctx_up),
+            S,
+            D,
+            cut_step=self.options.cdm_cut_step,
+        )
+
+    def _stage_execs(
+        self, chain: Sequence[StageAssignment], micro_batch: float, sc: bool
+    ) -> list[StageExec]:
+        prof = self.profile
+        p2p = self._p2p_costs(chain[0].replicas * len(chain))
+        execs = []
+        for i, st in enumerate(chain):
+            local = micro_batch / st.replicas
+            fwd = prof.stage_fwd_ms(st.component, st.lo, st.hi, local)
+            bwd = prof.stage_bwd_ms(st.component, st.lo, st.hi, local)
+            if i < len(chain) - 1:
+                nbytes = prof.boundary_bytes(st.component, st.hi - 1, local)
+                send_fwd = nbytes / p2p.bandwidth + p2p.latency
+                send_bwd = send_fwd
+            else:
+                send_fwd = send_bwd = 0.0
+            grad = prof.stage_grad_bytes(st.component, st.lo, st.hi)
+            ar = self._allreduce_costs(st.replicas * len(chain), st.replicas)
+            sync = grad / ar.bandwidth + ar.latency if grad > 0 else 0.0
+            execs.append(
+                StageExec(
+                    index=i,
+                    fwd_ms=fwd,
+                    bwd_ms=bwd,
+                    sc_fwd_ms=fwd if sc else None,
+                    send_fwd_ms=send_fwd,
+                    send_bwd_ms=send_bwd,
+                    sync_ms=sync,
+                    replicas=st.replicas,
+                    layer_range=(st.component, st.lo, st.hi),
+                )
+            )
+        return execs
+
+    def _feedback_ms(self, chain: Sequence[StageAssignment], micro_batch: float) -> float:
+        last = chain[-1]
+        local = micro_batch / last.replicas
+        nbytes = self.profile.boundary_bytes(last.component, last.hi - 1, local)
+        p2p = self._p2p_costs(last.replicas * len(chain))
+        return nbytes / p2p.bandwidth + p2p.latency
+
+    def _nt_serial_ms(self, batch_per_group: float, D: int) -> float:
+        """Serial (pre-pipeline) execution time of the whole NT part,
+        data-parallel across the pipeline group."""
+        total = 0.0
+        for comp in self.model.non_trainable:
+            total += self.profile.component_fwd_ms(comp.name, batch_per_group / D)
+        return total
+
+    def _simulate_and_fill(
+        self,
+        partition: PartitionPlan,
+        batch_per_group: float,
+        *,
+        sc: bool,
+        nt_total: float,
+    ):
+        micro = partition.micro_batch
+        M = partition.num_micro_batches
+        if partition.is_bidirectional:
+            down = self._stage_execs(partition.down, micro, sc=False)
+            up = self._stage_execs(partition.up, micro, sc=False)
+            tasks = build_bidirectional(down, up, M, M)
+        else:
+            stages = self._stage_execs(partition.down, micro, sc=sc)
+            tasks = build_1f1b(
+                stages,
+                M,
+                self_conditioning=sc,
+                feedback_ms=self._feedback_ms(partition.down, micro) if sc else 0.0,
+            )
+        S = partition.num_stages
+        weights = {i: partition.down[i].replicas for i in range(S)}
+        timeline = simulate(tasks, S, weights)
+
+        fill: FillReport | None = None
+        if self.options.enable_bubble_filling:
+            bubbles = extract_bubbles(
+                timeline,
+                min_duration_ms=self.options.min_bubble_ms,
+                include_sync_spans=True,
+            )
+            filler = BubbleFiller(
+                self.profile,
+                self.model,
+                batch_per_group,
+                enable_partial_batch=self.options.enable_partial_batch,
+                partial_batch_menu=self.options.partial_batch_menu,
+            )
+            fill = filler.fill(bubbles, leftover_devices=partition.group_size)
+
+        est = compose_iteration(
+            timeline,
+            fill,
+            nt_total,
+            total_devices=partition.group_size,
+        )
+        return est, fill, timeline

@@ -1,0 +1,67 @@
+"""Numeric back-end: NumPy layers, pipeline executors, equivalence checks."""
+
+from .comm_sim import ChannelSet, allreduce_sum
+from .equivalence import (
+    CrossIterationHarness,
+    compare_dp_pipeline_to_dp,
+    compare_pipeline_to_single,
+    cross_iteration_equivalence,
+    max_param_diff,
+    params_allclose,
+)
+from .executor import (
+    DataParallelPipelineTrainer,
+    InstructionEngine,
+    PipelineTrainer,
+    SingleDeviceTrainer,
+    clone_chain,
+    split_micro_batches,
+)
+from .optimizer import SGD, Adam
+from .self_conditioning import (
+    SelfConditionedPipelineTrainer,
+    SelfConditionedTrainer,
+    self_conditioning_equivalence,
+)
+from .tensor_nn import (
+    Chain,
+    Dense,
+    Layer,
+    ReLU,
+    Tanh,
+    add_grads,
+    frozen_encoder,
+    mlp_chain,
+    mse_loss,
+)
+
+__all__ = [
+    "ChannelSet",
+    "allreduce_sum",
+    "CrossIterationHarness",
+    "compare_dp_pipeline_to_dp",
+    "compare_pipeline_to_single",
+    "cross_iteration_equivalence",
+    "max_param_diff",
+    "params_allclose",
+    "DataParallelPipelineTrainer",
+    "InstructionEngine",
+    "PipelineTrainer",
+    "SingleDeviceTrainer",
+    "clone_chain",
+    "split_micro_batches",
+    "SGD",
+    "Adam",
+    "SelfConditionedPipelineTrainer",
+    "SelfConditionedTrainer",
+    "self_conditioning_equivalence",
+    "Chain",
+    "Dense",
+    "Layer",
+    "ReLU",
+    "Tanh",
+    "add_grads",
+    "frozen_encoder",
+    "mlp_chain",
+    "mse_loss",
+]

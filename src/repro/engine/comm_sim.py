@@ -1,0 +1,61 @@
+"""In-process communication channels standing in for NCCL.
+
+The executor runs all "devices" in one process; sends and receives go
+through per-directed-pair FIFO queues.  A receive from an empty channel
+is an error — the instruction schedules we execute are deterministic, so
+data must always be present when a RECV runs (if it is not, the schedule
+is wrong, which is exactly what the error surfaces).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Hashable
+
+import numpy as np
+
+from ..errors import EngineError
+
+
+class ChannelSet:
+    """FIFO message channels keyed by (src, dst, tag)."""
+
+    def __init__(self) -> None:
+        self._queues: dict[tuple[int, int, Hashable], deque] = {}
+        self.messages_sent = 0
+        self.bytes_sent = 0
+
+    def send(self, src: int, dst: int, payload: np.ndarray, tag: Hashable = None) -> None:
+        """Enqueue a tensor from ``src`` to ``dst``."""
+        if src == dst:
+            raise EngineError("send to self is a no-op bug")
+        q = self._queues.setdefault((src, dst, tag), deque())
+        q.append(payload)
+        self.messages_sent += 1
+        self.bytes_sent += payload.nbytes
+
+    def recv(self, src: int, dst: int, tag: Hashable = None) -> np.ndarray:
+        """Dequeue the next tensor sent from ``src`` to ``dst``."""
+        q = self._queues.get((src, dst, tag))
+        if not q:
+            raise EngineError(
+                f"recv on empty channel {src}->{dst} tag={tag!r}: "
+                "the instruction schedule violates a data dependency"
+            )
+        return q.popleft()
+
+    def pending(self) -> int:
+        """Number of undelivered messages (0 after a clean iteration)."""
+        return sum(len(q) for q in self._queues.values())
+
+
+def allreduce_sum(tensors: list[np.ndarray]) -> list[np.ndarray]:
+    """Sum-all-reduce across replicas (deterministic, in-process)."""
+    if not tensors:
+        raise EngineError("allreduce over empty group")
+    total = tensors[0].copy()
+    for t in tensors[1:]:
+        if t.shape != total.shape:
+            raise EngineError("allreduce shape mismatch")
+        total += t
+    return [total.copy() for _ in tensors]

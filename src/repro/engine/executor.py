@@ -1,0 +1,393 @@
+"""The back-end execution engine, numerically.
+
+Three executors, all operating on real NumPy tensors:
+
+* :class:`SingleDeviceTrainer` — the reference: full model, full batch.
+* :class:`PipelineTrainer` — 1F1B/GPipe pipeline training of a chain cut
+  into stages, with micro-batch gradient accumulation and optional data
+  parallelism; verifies the §3.2 claim that pipeline training is
+  mathematically equivalent to data-parallel training.
+* :class:`InstructionEngine` — executes the per-device instruction
+  streams emitted by :func:`repro.core.instructions.lower_timeline`,
+  with blocking receives over simulated channels; a deadlock here means
+  the generated schedule violates a data dependency.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Callable, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import EngineError
+from ..core.instructions import Instruction, Op
+from .comm_sim import ChannelSet, allreduce_sum
+from .optimizer import SGD
+from .tensor_nn import Array, Chain, add_grads, mse_loss
+
+
+def clone_chain(chain: Chain) -> Chain:
+    """A deep copy with independent parameters."""
+    return copy.deepcopy(chain)
+
+
+def split_micro_batches(x: Array, y: Array, num_micro: int) -> list[tuple[Array, Array]]:
+    """Split a batch into equal micro-batches."""
+    if x.shape[0] != y.shape[0]:
+        raise EngineError("inputs/targets batch mismatch")
+    if x.shape[0] % num_micro != 0:
+        raise EngineError(
+            f"batch {x.shape[0]} not divisible into {num_micro} micro-batches"
+        )
+    xs = np.split(x, num_micro)
+    ys = np.split(y, num_micro)
+    return list(zip(xs, ys))
+
+
+def _scale_micro_grads(
+    grads: dict[str, dict[str, Array]], num_micro: int
+) -> dict[str, dict[str, Array]]:
+    """MSE normalises per micro-batch; accumulating M micro-batches of
+    equal size then dividing by M reproduces the full-batch gradient."""
+    return {
+        ln: {k: v / num_micro for k, v in g.items()} for ln, g in grads.items()
+    }
+
+
+class SingleDeviceTrainer:
+    """Reference trainer: whole chain, whole batch, one device."""
+
+    def __init__(self, chain: Chain, optimizer=None, loss=mse_loss):
+        self.chain = chain
+        self.optimizer = optimizer or SGD(lr=0.05)
+        self.loss = loss
+
+    def compute_grads(self, x: Array, y: Array) -> tuple[float, dict]:
+        out, caches = self.chain.forward(x)
+        loss, dy = self.loss(out, y)
+        _, grads = self.chain.backward(dy, caches)
+        return loss, grads
+
+    def step(self, x: Array, y: Array) -> float:
+        loss, grads = self.compute_grads(x, y)
+        self.optimizer.step(self.chain, grads)
+        return loss
+
+
+@dataclass
+class _StageState:
+    chain: Chain
+    caches: dict[int, object] = field(default_factory=dict)   # mb -> caches
+    outputs: dict[int, Array] = field(default_factory=dict)   # mb -> output
+    grads: dict[str, dict[str, Array]] = field(default_factory=dict)
+
+
+class PipelineTrainer:
+    """1F1B / GPipe pipeline training of a chain cut at ``boundaries``.
+
+    The numeric result is schedule-independent (it only reorders
+    commutative gradient accumulation), so a simple wavefront loop
+    suffices; the *scheduling* realism lives in the simulator and the
+    :class:`InstructionEngine`.
+    """
+
+    def __init__(
+        self,
+        chain: Chain,
+        boundaries: Sequence[int],
+        *,
+        num_micro: int = 2,
+        optimizer_factory: Callable[[], object] | None = None,
+        loss=mse_loss,
+    ):
+        cuts = [0, *boundaries, len(chain.layers)]
+        if sorted(set(cuts)) != cuts:
+            raise EngineError(f"invalid stage boundaries {boundaries}")
+        self.stages = [
+            _StageState(chain=chain.slice(cuts[i], cuts[i + 1]))
+            for i in range(len(cuts) - 1)
+        ]
+        self.num_micro = num_micro
+        factory = optimizer_factory or (lambda: SGD(lr=0.05))
+        self.optimizers = [factory() for _ in self.stages]
+        self.loss = loss
+        self.channels = ChannelSet()
+        self.last_losses: list[float] = []
+
+    @property
+    def num_stages(self) -> int:
+        return len(self.stages)
+
+    # -- one training iteration ---------------------------------------------------
+
+    def compute_grads(self, x: Array, y: Array) -> tuple[float, list[dict]]:
+        """Forward/backward all micro-batches; return (mean loss,
+        per-stage accumulated gradients), without applying updates."""
+        micro = split_micro_batches(x, y, self.num_micro)
+        S = self.num_stages
+        for st in self.stages:
+            st.caches.clear()
+            st.outputs.clear()
+            st.grads = {}
+
+        losses = []
+        # Forward wavefront with explicit channel transfers.
+        for m, (mx, _) in enumerate(micro):
+            act = mx
+            for s, st in enumerate(self.stages):
+                if s > 0:
+                    act = self.channels.recv(s - 1, s, tag=("act", m))
+                out, caches = st.chain.forward(act)
+                st.caches[m] = caches
+                st.outputs[m] = out
+                if s < S - 1:
+                    self.channels.send(s, s + 1, out, tag=("act", m))
+        # Backward wavefront.
+        for m, (_, my) in enumerate(micro):
+            loss, dy = self.loss(self.stages[-1].outputs[m], my)
+            losses.append(loss)
+            for s in range(S - 1, -1, -1):
+                st = self.stages[s]
+                if s < S - 1:
+                    dy = self.channels.recv(s + 1, s, tag=("grad", m))
+                dy, grads = st.chain.backward(dy, st.caches.pop(m))
+                add_grads(st.grads, grads)
+                if s > 0:
+                    self.channels.send(s, s - 1, dy, tag=("grad", m))
+        if self.channels.pending():
+            raise EngineError("undelivered messages after iteration")
+        per_stage = [
+            _scale_micro_grads(st.grads, self.num_micro) for st in self.stages
+        ]
+        self.last_losses = losses
+        return float(np.mean(losses)), per_stage
+
+    def step(self, x: Array, y: Array) -> float:
+        loss, per_stage = self.compute_grads(x, y)
+        for st, opt, grads in zip(self.stages, self.optimizers, per_stage):
+            opt.step(st.chain, grads)
+        return loss
+
+    def param_vector(self) -> Array:
+        vecs = [st.chain.param_vector() for st in self.stages]
+        return np.concatenate([v for v in vecs if v.size])
+
+
+class DataParallelPipelineTrainer:
+    """Several pipeline replicas with gradient all-reduce between them.
+
+    Replica ``i`` processes the ``i``-th shard of the batch; gradients
+    average across replicas before each stage's optimiser step — the
+    mixed pipeline+data parallelism of Fig. 8.
+    """
+
+    def __init__(
+        self,
+        chain: Chain,
+        boundaries: Sequence[int],
+        *,
+        num_micro: int = 2,
+        replicas: int = 2,
+        optimizer_factory: Callable[[], object] | None = None,
+    ):
+        if replicas <= 0:
+            raise EngineError("replicas must be positive")
+        self.replicas = [
+            PipelineTrainer(
+                clone_chain(chain),
+                boundaries,
+                num_micro=num_micro,
+                optimizer_factory=optimizer_factory,
+            )
+            for _ in range(replicas)
+        ]
+        # All replicas start from identical parameters.
+        ref = self.replicas[0]
+        for rep in self.replicas[1:]:
+            for st_ref, st in zip(ref.stages, rep.stages):
+                for l_ref, l in zip(st_ref.chain.layers, st.chain.layers):
+                    for k in l.params:
+                        l.params[k] = l_ref.params[k].copy()
+
+    def step(self, x: Array, y: Array) -> float:
+        n = len(self.replicas)
+        if x.shape[0] % n != 0:
+            raise EngineError(f"batch {x.shape[0]} not divisible by {n} replicas")
+        xs = np.split(x, n)
+        ys = np.split(y, n)
+        losses = []
+        all_grads = []
+        for rep, rx, ry in zip(self.replicas, xs, ys):
+            loss, grads = rep.compute_grads(rx, ry)
+            losses.append(loss)
+            all_grads.append(grads)
+        # All-reduce (average) per stage/layer/param across replicas.
+        for s in range(self.replicas[0].num_stages):
+            layer_names = all_grads[0][s].keys()
+            for ln in layer_names:
+                for k in all_grads[0][s][ln]:
+                    reduced = allreduce_sum(
+                        [g[s][ln][k] for g in all_grads]
+                    )
+                    for g, r in zip(all_grads, reduced):
+                        g[s][ln][k] = r / n
+        for rep, grads in zip(self.replicas, all_grads):
+            for st, opt, g in zip(rep.stages, rep.optimizers, grads):
+                opt.step(st.chain, g)
+        return float(np.mean(losses))
+
+    def param_vector(self) -> Array:
+        return self.replicas[0].param_vector()
+
+
+class InstructionEngine:
+    """Executes lowered instruction streams with blocking receives.
+
+    The engine round-robins over devices, executing each device's next
+    instruction when its operands are available; a full sweep with no
+    progress is a deadlock (an invalid schedule).  This validates that
+    the planner's emitted programs (Fig. 7 step 6) are executable.
+    """
+
+    def __init__(
+        self,
+        stage_chains: Sequence[Chain],
+        streams: Mapping[int, Sequence[Instruction]],
+        *,
+        loss=mse_loss,
+        optimizer_factory: Callable[[], object] | None = None,
+    ):
+        self.stages = [_StageState(chain=c) for c in stage_chains]
+        self.streams = {d: list(instrs) for d, instrs in streams.items()}
+        self.loss = loss
+        factory = optimizer_factory or (lambda: SGD(lr=0.05))
+        self.optimizers = [factory() for _ in self.stages]
+        self.channels = ChannelSet()
+        self.losses: list[float] = []
+
+    def run(
+        self,
+        micro_inputs: Mapping[int, Array],
+        micro_targets: Mapping[int, Array],
+    ) -> float:
+        """Execute all streams on a micro-batch set; return mean loss."""
+        cursors = {d: 0 for d in self.streams}
+        pending_recv: dict[tuple[int, int, str], Array] = {}
+        num_micro = len(micro_inputs)
+
+        def try_execute(dev: int) -> bool:
+            i = cursors[dev]
+            stream = self.streams[dev]
+            if i >= len(stream):
+                return False
+            instr = stream[i]
+            ok = self._execute(
+                instr, micro_inputs, micro_targets, pending_recv, num_micro
+            )
+            if ok:
+                cursors[dev] += 1
+            return ok
+
+        total = sum(len(s) for s in self.streams.values())
+        done = 0
+        while done < total:
+            progressed = False
+            for dev in sorted(self.streams):
+                while try_execute(dev):
+                    done += 1
+                    progressed = True
+            if not progressed:
+                stuck = {
+                    d: self.streams[d][cursors[d]].describe()
+                    for d in self.streams
+                    if cursors[d] < len(self.streams[d])
+                }
+                raise EngineError(f"instruction deadlock at {stuck}")
+        if self.channels.pending():
+            raise EngineError("undelivered messages after program")
+        return float(np.mean(self.losses)) if self.losses else 0.0
+
+    # -- single instruction ------------------------------------------------------
+
+    def _execute(
+        self,
+        instr: Instruction,
+        micro_inputs: Mapping[int, Array],
+        micro_targets: Mapping[int, Array],
+        pending_recv: dict,
+        num_micro: int,
+    ) -> bool:
+        op = instr.op
+        args = instr.args
+        dev = instr.device
+        if op in (Op.LOAD_MICRO_BATCH, Op.NT_FORWARD, Op.SC_FORWARD):
+            return True  # modelled as free in the numeric engine
+        if op == Op.SEND:
+            m = int(args["micro_batch"])
+            direction = str(args.get("dir", "fwd"))
+            peer = int(args["peer"])
+            st = self.stages[dev]
+            if direction == "fwd":
+                payload = st.outputs.get(m)
+                if payload is None:
+                    return False
+                self.channels.send(dev, peer, payload, tag=("act", m))
+            else:
+                key = (dev, m, "grad_out")
+                if key not in pending_recv:
+                    return False
+                self.channels.send(dev, peer, pending_recv.pop(key), tag=("grad", m))
+            return True
+        if op == Op.RECV:
+            m = int(args["micro_batch"])
+            direction = str(args.get("dir", "fwd"))
+            peer = int(args["peer"])
+            tag = ("act", m) if direction == "fwd" else ("grad", m)
+            try:
+                payload = self.channels.recv(peer, dev, tag=tag)
+            except EngineError:
+                return False
+            pending_recv[(dev, m, direction)] = payload
+            return True
+        if op == Op.FORWARD:
+            m = int(args["micro_batch"])
+            st = self.stages[dev]
+            if dev == 0:
+                x = micro_inputs[m]
+            else:
+                key = (dev, m, "fwd")
+                if key not in pending_recv:
+                    return False
+                x = pending_recv.pop(key)
+            out, caches = st.chain.forward(x)
+            st.caches[m] = caches
+            st.outputs[m] = out
+            return True
+        if op == Op.BACKWARD:
+            m = int(args["micro_batch"])
+            st = self.stages[dev]
+            if m not in st.caches:
+                return False
+            if dev == len(self.stages) - 1:
+                loss, dy = self.loss(st.outputs[m], micro_targets[m])
+                self.losses.append(loss)
+            else:
+                key = (dev, m, "bwd")
+                if key not in pending_recv:
+                    return False
+                dy = pending_recv.pop(key)
+            dx, grads = st.chain.backward(dy, st.caches.pop(m))
+            add_grads(st.grads, grads)
+            pending_recv[(dev, m, "grad_out")] = dx
+            return True
+        if op == Op.ALLREDUCE_GRADS:
+            return True  # single pipeline: nothing to reduce
+        if op == Op.OPTIMIZER_STEP:
+            st = self.stages[dev]
+            grads = _scale_micro_grads(st.grads, num_micro)
+            self.optimizers[dev].step(st.chain, grads)
+            st.grads = {}
+            return True
+        raise EngineError(f"unknown opcode {op}")

@@ -1,0 +1,76 @@
+"""Optimisers for the numeric execution engine."""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..errors import EngineError
+from .tensor_nn import Array, Chain
+
+
+class SGD:
+    """Plain SGD with optional momentum, applied to a :class:`Chain`."""
+
+    def __init__(self, lr: float = 0.05, momentum: float = 0.0):
+        if lr <= 0:
+            raise EngineError("learning rate must be positive")
+        if not (0.0 <= momentum < 1.0):
+            raise EngineError("momentum must be in [0, 1)")
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity: dict[tuple[str, str], Array] = {}
+
+    def step(self, chain: Chain, grads: Mapping[str, Mapping[str, Array]]) -> None:
+        params = chain.named_params()
+        for lname, g in grads.items():
+            if lname not in params:
+                raise EngineError(f"gradient for unknown layer {lname}")
+            for k, dv in g.items():
+                key = (lname, k)
+                if self.momentum > 0.0:
+                    v = self._velocity.get(key)
+                    v = dv if v is None else self.momentum * v + dv
+                    self._velocity[key] = v
+                    update = v
+                else:
+                    update = dv
+                params[lname][k] -= self.lr * update
+
+
+class Adam:
+    """Adam (Kingma & Ba) on a :class:`Chain`."""
+
+    def __init__(
+        self,
+        lr: float = 1e-3,
+        beta1: float = 0.9,
+        beta2: float = 0.999,
+        eps: float = 1e-8,
+    ):
+        if lr <= 0:
+            raise EngineError("learning rate must be positive")
+        self.lr, self.beta1, self.beta2, self.eps = lr, beta1, beta2, eps
+        self._m: dict[tuple[str, str], Array] = {}
+        self._v: dict[tuple[str, str], Array] = {}
+        self._t = 0
+
+    def step(self, chain: Chain, grads: Mapping[str, Mapping[str, Array]]) -> None:
+        self._t += 1
+        params = chain.named_params()
+        b1t = 1.0 - self.beta1**self._t
+        b2t = 1.0 - self.beta2**self._t
+        for lname, g in grads.items():
+            if lname not in params:
+                raise EngineError(f"gradient for unknown layer {lname}")
+            for k, dv in g.items():
+                key = (lname, k)
+                m = self._m.get(key, np.zeros_like(dv))
+                v = self._v.get(key, np.zeros_like(dv))
+                m = self.beta1 * m + (1 - self.beta1) * dv
+                v = self.beta2 * v + (1 - self.beta2) * dv**2
+                self._m[key], self._v[key] = m, v
+                mh = m / b1t
+                vh = v / b2t
+                params[lname][k] -= self.lr * mh / (np.sqrt(vh) + self.eps)

@@ -1,0 +1,153 @@
+"""Self-conditioning training in the numeric engine (§4.3, Chen et al.).
+
+Self-conditioning runs an extra, gradient-free forward pass of the
+backbone; its output is fed back as an additional conditioning input to
+the main forward pass.  Numerically:
+
+    c        = f_theta([x, 0])          # no-grad estimate
+    pred     = f_theta([x, stop_grad(c)])
+    loss     = MSE(pred, target)
+
+Only the second pass contributes gradients — exactly how the paper's
+pipeline schedules treat it (the SC wave stores no activations,
+Fig. 10).  The trainer verifies that the pipelined variant (SC wave
+through the stages, feedback to stage 0, then the main 1F1B pass)
+matches single-device self-conditioned training bit for bit.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import EngineError
+from .executor import clone_chain, split_micro_batches, _scale_micro_grads
+from .optimizer import SGD
+from .tensor_nn import Array, Chain, add_grads, mse_loss
+
+
+def _concat_condition(x: Array, cond: Array) -> Array:
+    if x.shape[0] != cond.shape[0]:
+        raise EngineError("conditioning batch mismatch")
+    return np.concatenate([x, cond], axis=1)
+
+
+class SelfConditionedTrainer:
+    """Single-device self-conditioned training (the reference)."""
+
+    def __init__(self, chain: Chain, d_out: int, optimizer=None):
+        self.chain = chain
+        self.d_out = d_out
+        self.optimizer = optimizer or SGD(lr=0.05)
+
+    def _forward_sc(self, x: Array) -> Array:
+        zero = np.zeros((x.shape[0], self.d_out))
+        est, _ = self.chain.forward(_concat_condition(x, zero))
+        return est
+
+    def compute_grads(self, x: Array, y: Array, active: bool = True):
+        cond = self._forward_sc(x) if active else np.zeros((x.shape[0], self.d_out))
+        out, caches = self.chain.forward(_concat_condition(x, cond))
+        loss, dy = mse_loss(out, y)
+        _, grads = self.chain.backward(dy, caches)
+        return loss, grads
+
+    def step(self, x: Array, y: Array, active: bool = True) -> float:
+        loss, grads = self.compute_grads(x, y, active)
+        self.optimizer.step(self.chain, grads)
+        return loss
+
+
+class SelfConditionedPipelineTrainer:
+    """Pipeline-parallel self-conditioned training.
+
+    Per micro-batch: the SC wave traverses all stages without storing
+    caches, the last stage's output travels back to stage 0 (the
+    feedback ``Cf`` of Fig. 10), then the main forward+backward wave
+    runs normally with gradient accumulation.
+    """
+
+    def __init__(
+        self,
+        chain: Chain,
+        boundaries,
+        d_out: int,
+        *,
+        num_micro: int = 2,
+        optimizer_factory=None,
+    ):
+        cuts = [0, *boundaries, len(chain.layers)]
+        if sorted(set(cuts)) != cuts:
+            raise EngineError(f"invalid stage boundaries {boundaries}")
+        self.stages = [chain.slice(cuts[i], cuts[i + 1]) for i in range(len(cuts) - 1)]
+        self.d_out = d_out
+        self.num_micro = num_micro
+        factory = optimizer_factory or (lambda: SGD(lr=0.05))
+        self.optimizers = [factory() for _ in self.stages]
+
+    def _wave(self, x: Array, store: bool):
+        """Run one forward wave; return (output, caches or None)."""
+        caches = [] if store else None
+        act = x
+        for stage in self.stages:
+            act, c = stage.forward(act)
+            if caches is not None:
+                caches.append(c)
+        return act, caches
+
+    def step(self, x: Array, y: Array, active: bool = True) -> float:
+        micro = split_micro_batches(x, y, self.num_micro)
+        grads = [dict() for _ in self.stages]
+        losses = []
+        for mx, my in micro:
+            if active:
+                zero = np.zeros((mx.shape[0], self.d_out))
+                cond, _ = self._wave(_concat_condition(mx, zero), store=False)
+            else:
+                cond = np.zeros((mx.shape[0], self.d_out))
+            out, caches = self._wave(_concat_condition(mx, cond), store=True)
+            loss, dy = mse_loss(out, my)
+            losses.append(loss)
+            assert caches is not None
+            for s in range(len(self.stages) - 1, -1, -1):
+                dy, g = self.stages[s].backward(dy, caches[s])
+                add_grads(grads[s], g)
+        for stage, opt, g in zip(self.stages, self.optimizers, grads):
+            opt.step(stage, _scale_micro_grads(g, self.num_micro))
+        return float(np.mean(losses))
+
+    def param_vector(self) -> Array:
+        vecs = [s.param_vector() for s in self.stages]
+        return np.concatenate([v for v in vecs if v.size])
+
+
+def self_conditioning_equivalence(
+    d_in: int = 4,
+    d_out: int = 3,
+    steps: int = 4,
+    batch: int = 8,
+    num_micro: int = 2,
+    seed: int = 0,
+) -> float:
+    """Max parameter deviation between single-device and pipelined
+    self-conditioned training (0 up to float rounding)."""
+    from .tensor_nn import mlp_chain
+
+    rng = np.random.default_rng(seed)
+    # The backbone consumes [x, condition]: input dim = d_in + d_out.
+    chain = mlp_chain("sc", [d_in + d_out, 12, d_out], rng)
+    x = rng.normal(size=(batch, d_in))
+    y = rng.normal(size=(batch, d_out))
+    single = SelfConditionedTrainer(clone_chain(chain), d_out, optimizer=SGD(lr=0.05))
+    pipe = SelfConditionedPipelineTrainer(
+        clone_chain(chain), [2], d_out, num_micro=num_micro,
+        optimizer_factory=lambda: SGD(lr=0.05),
+    )
+    for k in range(steps):
+        active = k % 2 == 0  # SC activates with probability p; alternate
+        single.step(x, y, active=active)
+        pipe.step(x, y, active=active)
+    a = single.chain.param_vector()
+    b = pipe.param_vector()
+    if a.shape != b.shape:
+        raise EngineError("parameter shape mismatch")
+    return float(np.max(np.abs(a - b))) if a.size else 0.0

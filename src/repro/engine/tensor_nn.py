@@ -1,0 +1,205 @@
+"""A minimal NumPy neural-network library with explicit backward passes.
+
+This is the numeric substrate of the back-end execution engine: real
+tensors, real gradients, no framework.  Layers are *functional* — the
+forward pass returns ``(output, cache)`` and the backward pass consumes
+the cache — so a pipeline stage can keep several micro-batches in
+flight, exactly like activation stashing in a real pipeline engine.
+
+Float64 is used throughout so that pipeline-vs-data-parallel gradient
+comparisons are exact up to benign summation reordering.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..errors import EngineError
+
+Array = np.ndarray
+
+
+class Layer:
+    """Base layer: parameters + functional forward/backward."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.params: dict[str, Array] = {}
+        self.trainable = True
+
+    def forward(self, x: Array) -> tuple[Array, object]:
+        raise NotImplementedError
+
+    def backward(self, dy: Array, cache: object) -> tuple[Array, dict[str, Array]]:
+        """Return (input gradient, parameter gradients)."""
+        raise NotImplementedError
+
+    def param_vector(self) -> Array:
+        """Flat view of all parameters (for equivalence checks)."""
+        if not self.params:
+            return np.zeros(0)
+        return np.concatenate([self.params[k].ravel() for k in sorted(self.params)])
+
+
+class Dense(Layer):
+    """Affine layer ``y = x W + b``."""
+
+    def __init__(self, name: str, d_in: int, d_out: int, rng: np.random.Generator):
+        super().__init__(name)
+        scale = 1.0 / np.sqrt(d_in)
+        self.params = {
+            "W": rng.normal(0.0, scale, size=(d_in, d_out)),
+            "b": np.zeros(d_out),
+        }
+
+    def forward(self, x: Array) -> tuple[Array, object]:
+        if x.ndim != 2 or x.shape[1] != self.params["W"].shape[0]:
+            raise EngineError(
+                f"{self.name}: bad input shape {x.shape} for W "
+                f"{self.params['W'].shape}"
+            )
+        return x @ self.params["W"] + self.params["b"], x
+
+    def backward(self, dy: Array, cache: object) -> tuple[Array, dict[str, Array]]:
+        x = cache
+        grads = {"W": x.T @ dy, "b": dy.sum(axis=0)}
+        return dy @ self.params["W"].T, grads
+
+
+class ReLU(Layer):
+    """Elementwise rectifier (parameter-free)."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+
+    def forward(self, x: Array) -> tuple[Array, object]:
+        mask = x > 0
+        return x * mask, mask
+
+    def backward(self, dy: Array, cache: object) -> tuple[Array, dict[str, Array]]:
+        return dy * cache, {}
+
+
+class Tanh(Layer):
+    """Elementwise tanh (parameter-free)."""
+
+    def __init__(self, name: str):
+        super().__init__(name)
+
+    def forward(self, x: Array) -> tuple[Array, object]:
+        y = np.tanh(x)
+        return y, y
+
+    def backward(self, dy: Array, cache: object) -> tuple[Array, dict[str, Array]]:
+        return dy * (1.0 - cache**2), {}
+
+
+class Chain:
+    """A sequential stack of layers with functional fwd/bwd."""
+
+    def __init__(self, layers: Sequence[Layer]):
+        if not layers:
+            raise EngineError("empty chain")
+        self.layers = list(layers)
+
+    def forward(self, x: Array) -> tuple[Array, list[object]]:
+        caches = []
+        for layer in self.layers:
+            x, c = layer.forward(x)
+            caches.append(c)
+        return x, caches
+
+    def backward(
+        self, dy: Array, caches: Sequence[object]
+    ) -> tuple[Array, dict[str, dict[str, Array]]]:
+        if len(caches) != len(self.layers):
+            raise EngineError("cache/layer count mismatch")
+        grads: dict[str, dict[str, Array]] = {}
+        for layer, cache in zip(reversed(self.layers), reversed(list(caches))):
+            dy, g = layer.backward(dy, cache)
+            if g:
+                grads[layer.name] = g
+        return dy, grads
+
+    # -- slicing for pipeline stages ---------------------------------------------
+
+    def slice(self, lo: int, hi: int) -> "Chain":
+        """The sub-chain of layers ``[lo, hi)`` (shared parameters)."""
+        if not (0 <= lo < hi <= len(self.layers)):
+            raise EngineError(f"invalid chain slice [{lo}, {hi})")
+        return Chain(self.layers[lo:hi])
+
+    def param_vector(self) -> Array:
+        vecs = [l.param_vector() for l in self.layers]
+        vecs = [v for v in vecs if v.size]
+        return np.concatenate(vecs) if vecs else np.zeros(0)
+
+    def named_params(self) -> dict[str, dict[str, Array]]:
+        return {l.name: l.params for l in self.layers if l.params}
+
+
+def mse_loss(pred: Array, target: Array) -> tuple[float, Array]:
+    """Mean-squared-error loss and its gradient w.r.t. ``pred``.
+
+    Normalised by the *total* element count, so micro-batch gradients
+    accumulated with sample-count weights reproduce the full-batch
+    gradient exactly.
+    """
+    if pred.shape != target.shape:
+        raise EngineError(f"loss shape mismatch {pred.shape} vs {target.shape}")
+    diff = pred - target
+    loss = float(np.mean(diff**2))
+    return loss, 2.0 * diff / diff.size
+
+
+def mlp_chain(
+    name: str,
+    dims: Sequence[int],
+    rng: np.random.Generator,
+    activation: str = "tanh",
+) -> Chain:
+    """A small MLP: Dense/activation pairs along ``dims``."""
+    if len(dims) < 2:
+        raise EngineError("mlp needs at least input and output dims")
+    act_cls = {"tanh": Tanh, "relu": ReLU}.get(activation)
+    if act_cls is None:
+        raise EngineError(f"unknown activation {activation!r}")
+    layers: list[Layer] = []
+    for i in range(len(dims) - 1):
+        layers.append(Dense(f"{name}_fc{i}", dims[i], dims[i + 1], rng))
+        if i < len(dims) - 2:
+            layers.append(act_cls(f"{name}_act{i}"))
+    return Chain(layers)
+
+
+def frozen_encoder(
+    name: str, d_in: int, d_out: int, rng: np.random.Generator
+) -> Chain:
+    """A frozen (non-trainable) random projection encoder.
+
+    Stands in for the diffusion model's text/image encoders: it
+    transforms raw inputs into conditioning features, and its output for
+    iteration *k+1* can be computed during iteration *k* (cross-iteration
+    pipelining) because its parameters never change.
+    """
+    enc = Dense(f"{name}_proj", d_in, d_out, rng)
+    enc.trainable = False
+    act = Tanh(f"{name}_tanh")
+    act.trainable = False
+    chain = Chain([enc, act])
+    return chain
+
+
+def add_grads(
+    into: dict[str, dict[str, Array]], grads: Mapping[str, Mapping[str, Array]]
+) -> None:
+    """Accumulate parameter gradients (micro-batch accumulation)."""
+    for lname, g in grads.items():
+        slot = into.setdefault(lname, {})
+        for k, v in g.items():
+            if k in slot:
+                slot[k] = slot[k] + v
+            else:
+                slot[k] = v.copy()

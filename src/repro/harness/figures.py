@@ -1,0 +1,244 @@
+"""Data generators for the paper's figures (4, 5, 6, 14, 15).
+
+Each function returns plain data structures that the corresponding
+benchmark renders and asserts on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
+
+from ..cluster.topology import ClusterSpec
+from ..core.planner import DiffusionPipePlanner, PlannerOptions
+from ..errors import ConfigurationError
+from ..models.graph import ModelSpec
+from ..profiling.records import ProfileDB
+from ..schedule.onef1b import build_1f1b
+from ..schedule.simulator import simulate
+from ..baselines.gpipe import GPipeBaseline
+from ..baselines.spp import SPPBaseline
+
+
+# -- Fig. 4: bubble-ratio grids ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BubbleGridCell:
+    """One (stages, micro-batches) point of the Fig. 4 grid."""
+
+    num_stages: int
+    num_micro: int
+    ratio_of_iteration: float       # upper number of Fig. 4
+    ratio_of_nt_time: float         # lower number of Fig. 4
+
+
+def bubble_ratio_grid(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    profile: ProfileDB,
+    *,
+    batch: int = 64,
+    stage_counts: Sequence[int] = (2, 3, 4),
+    micro_counts: Sequence[int] = (1, 2, 3, 4),
+) -> list[BubbleGridCell]:
+    """Reproduce Fig. 4's profiling setup: FIFO-1F1B backbone pipelining
+    with the NT part executed data-parallel before the pipeline.
+
+    The iteration time is pipeline + NT (upper ratio); the lower ratio
+    divides total bubble device-time by the NT part's single-device
+    full-batch execution time.
+    """
+    planner = DiffusionPipePlanner(
+        model,
+        cluster,
+        profile,
+        options=PlannerOptions(
+            max_stages=max(stage_counts),
+            enable_bubble_filling=False,
+            check_memory=False,
+        ),
+    )
+    nt_full = sum(
+        profile.component_fwd_ms(c.name, batch) for c in model.non_trainable
+    )
+    cells = []
+    for S in stage_counts:
+        for M in micro_counts:
+            partition = planner._partition(batch, S, S, M)
+            stages = planner._stage_execs(partition.down, batch / M, sc=False)
+            tasks = build_1f1b(stages, M)
+            tl = simulate(tasks, S)
+            nt_dp = sum(
+                profile.component_fwd_ms(c.name, batch / S)
+                for c in model.non_trainable
+            )
+            iteration = tl.makespan + nt_dp
+            bubble_dev = tl.bubble_device_time()
+            cells.append(
+                BubbleGridCell(
+                    num_stages=S,
+                    num_micro=M,
+                    ratio_of_iteration=bubble_dev / (iteration * S),
+                    ratio_of_nt_time=bubble_dev / nt_full,
+                )
+            )
+    return cells
+
+
+# -- Fig. 5: non-trainable layer execution times ---------------------------------------
+
+
+def nt_layer_times(
+    model: ModelSpec, profile: ProfileDB, batch: float = 64
+) -> list[tuple[str, int, float]]:
+    """(component, global index, forward ms) of every frozen layer."""
+    out = []
+    idx = 0
+    for comp in model.non_trainable:
+        for i in range(profile.num_layers(comp.name)):
+            out.append((comp.name, idx, profile.fwd_ms(comp.name, i, batch)))
+            idx += 1
+    return out
+
+
+# -- Fig. 6: extra-long layers vs bubble sizes -----------------------------------------
+
+
+@dataclass(frozen=True)
+class LongLayerSeries:
+    """Execution time of one top-k NT layer across batch sizes."""
+
+    component: str
+    layer: int
+    batches: tuple[float, ...]
+    times_ms: tuple[float, ...]
+
+
+def top_layer_series(
+    model: ModelSpec,
+    profile: ProfileDB,
+    *,
+    top_k: int = 3,
+    batches: Sequence[float] = (4, 8, 16, 24, 32, 48, 64),
+) -> list[LongLayerSeries]:
+    """Fig. 6's curves: the top-k longest NT layers over batch sizes."""
+    ranked = sorted(
+        nt_layer_times(model, profile, batch=max(batches)),
+        key=lambda t: -t[2],
+    )[:top_k]
+    series = []
+    layer_index_by_global: dict[int, tuple[str, int]] = {}
+    idx = 0
+    for comp in model.non_trainable:
+        for i in range(profile.num_layers(comp.name)):
+            layer_index_by_global[idx] = (comp.name, i)
+            idx += 1
+    for comp_name, gidx, _ in ranked:
+        cname, layer = layer_index_by_global[gidx]
+        times = tuple(profile.fwd_ms(cname, layer, b) for b in batches)
+        series.append(
+            LongLayerSeries(
+                component=cname, layer=layer, batches=tuple(batches),
+                times_ms=times,
+            )
+        )
+    return series
+
+
+def longest_bubble_by_stages(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    profile: ProfileDB,
+    *,
+    batch: int = 64,
+    num_micro: int = 4,
+    stage_counts: Sequence[int] = (2, 3, 4),
+) -> dict[int, float]:
+    """Fig. 6's horizontal lines: the longest pipeline bubble per stage
+    count (FIFO-1F1B, 4 micro-batches, batch 64).
+
+    "Bubble" here is a per-device contiguous idle span — the gray blocks
+    of Fig. 2 — which is the capacity an individual layer must fit into.
+    """
+    planner = DiffusionPipePlanner(
+        model,
+        cluster,
+        profile,
+        options=PlannerOptions(
+            max_stages=max(stage_counts),
+            enable_bubble_filling=False,
+            check_memory=False,
+        ),
+    )
+    out = {}
+    for S in stage_counts:
+        partition = planner._partition(batch, S, S, num_micro)
+        stages = planner._stage_execs(partition.down, batch / num_micro, sc=False)
+        tl = simulate(build_1f1b(stages, num_micro), S)
+        longest = 0.0
+        for dev in range(S):
+            for span in tl.idle_spans(dev):
+                longest = max(longest, span.duration)
+        out[S] = longest
+    return out
+
+
+# -- Fig. 14: bubble ratios of DiffusionPipe vs GPipe vs SPP -----------------------------
+
+
+def bubble_ratio_comparison(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    profile: ProfileDB,
+    *,
+    batches: Sequence[int] = (256, 384),
+    options: PlannerOptions | None = None,
+) -> dict[str, dict[int, float]]:
+    """Bubble ratio of the three pipeline systems at 8 GPUs."""
+    options = options or PlannerOptions(
+        max_stages=4, micro_batch_counts=(1, 2, 3, 4, 6, 8), group_sizes=(2, 4, 8)
+    )
+    planner = DiffusionPipePlanner(model, cluster, profile, options=options)
+    spp = SPPBaseline(model, cluster, profile, options=options)
+    gpipe = GPipeBaseline(model, cluster, profile)
+    out: dict[str, dict[int, float]] = {
+        "DiffusionPipe": {}, "GPipe": {}, "SPP": {},
+    }
+    for b in batches:
+        out["DiffusionPipe"][b] = planner.plan(b).plan.bubble_ratio_filled
+        out["SPP"][b] = spp.bubble_ratio(b)
+        out["GPipe"][b] = gpipe.bubble_ratio(b)
+    return out
+
+
+# -- Fig. 15: ablation ---------------------------------------------------------------
+
+
+def ablation_throughputs(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    profile: ProfileDB,
+    *,
+    batches: Sequence[int] = (256, 384),
+    options: PlannerOptions | None = None,
+) -> dict[str, dict[int, float]]:
+    """DiffusionPipe vs partial-batch-disabled vs filling-disabled."""
+    base = options or PlannerOptions(
+        max_stages=4, micro_batch_counts=(1, 2, 3, 4, 6, 8), group_sizes=(2, 4, 8)
+    )
+    variants = {
+        "DiffusionPipe": base,
+        "Partial-batch disabled": replace(base, enable_partial_batch=False),
+        "Bubble filling disabled": replace(base, enable_bubble_filling=False),
+    }
+    out: dict[str, dict[int, float]] = {}
+    for name, opts in variants.items():
+        planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
+        out[name] = {}
+        for b in batches:
+            try:
+                out[name][b] = planner.plan(b).plan.throughput
+            except ConfigurationError:
+                out[name][b] = 0.0
+    return out

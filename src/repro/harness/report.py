@@ -1,0 +1,66 @@
+"""Paper-vs-measured recording used by the benchmark suite.
+
+Benchmarks register :class:`Comparison` rows; the collected records can
+be rendered as the EXPERIMENTS.md tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from .tables import format_table
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    experiment: str        # e.g. "Table 1", "Fig. 13a"
+    setting: str           # e.g. "SD v2.1, B=64"
+    metric: str            # e.g. "NT/T ratio"
+    paper: float | None    # None when the paper gives no number
+    measured: float
+    unit: str = ""
+
+    @property
+    def deviation(self) -> float | None:
+        if self.paper is None or self.paper == 0:
+            return None
+        return (self.measured - self.paper) / abs(self.paper)
+
+
+@dataclass
+class ExperimentReport:
+    """A set of comparisons for one table/figure."""
+
+    name: str
+    comparisons: list[Comparison] = field(default_factory=list)
+
+    def add(
+        self,
+        setting: str,
+        metric: str,
+        paper: float | None,
+        measured: float,
+        unit: str = "",
+    ) -> None:
+        self.comparisons.append(
+            Comparison(self.name, setting, metric, paper, measured, unit)
+        )
+
+    def to_table(self) -> str:
+        rows = []
+        for c in self.comparisons:
+            dev = "-" if c.deviation is None else f"{100 * c.deviation:+.1f}%"
+            paper = "-" if c.paper is None else f"{c.paper:g}{c.unit}"
+            rows.append(
+                [c.setting, c.metric, paper, f"{c.measured:g}{c.unit}", dev]
+            )
+        return format_table(
+            ["setting", "metric", "paper", "measured", "deviation"],
+            rows,
+            title=self.name,
+        )
+
+    def max_abs_deviation(self) -> float:
+        devs = [abs(c.deviation) for c in self.comparisons if c.deviation is not None]
+        return max(devs, default=0.0)

@@ -1,0 +1,57 @@
+"""ASCII table / bar rendering for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: str = ""
+) -> str:
+    """Render a fixed-width ASCII table."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(r[i]) for r in cells) for i in range(len(headers))]
+
+    def fmt_row(row: Sequence[str]) -> str:
+        return " | ".join(c.rjust(w) for c, w in zip(row, widths))
+
+    sep = "-+-".join("-" * w for w in widths)
+    out = []
+    if title:
+        out.append(title)
+    out.append(fmt_row(cells[0]))
+    out.append(sep)
+    out.extend(fmt_row(r) for r in cells[1:])
+    return "\n".join(out)
+
+
+def format_bars(
+    labels: Sequence[str], values: Sequence[float], width: int = 50, unit: str = ""
+) -> str:
+    """Render a horizontal ASCII bar chart."""
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    finite = [v for v in values if v == v and v not in (float("inf"),)]
+    vmax = max(finite, default=1.0) or 1.0
+    lw = max((len(l) for l in labels), default=0)
+    lines = []
+    for label, v in zip(labels, values):
+        if v != v or v == float("inf"):
+            bar, val = "(oom)", "-"
+        else:
+            bar = "#" * max(int(v / vmax * width), 0)
+            val = f"{v:.1f}{unit}"
+        lines.append(f"{label.rjust(lw)} |{bar} {val}")
+    return "\n".join(lines)
+
+
+def pct(x: float, digits: int = 1) -> str:
+    """Format a fraction as a percentage string."""
+    return f"{100.0 * x:.{digits}f}%"
+
+
+def oom_or(value: float, fmt: str = "{:.0f}") -> str:
+    """Format a throughput cell, showing OOM for infeasible points."""
+    if value != value or value in (float("inf"),) or value == 0.0:
+        return "OOM"
+    return fmt.format(value)

@@ -1,0 +1,219 @@
+"""Throughput sweep drivers shared by the Fig. 13 benchmarks.
+
+One :class:`ThroughputSweep` evaluates every system of §6 on a grid of
+cluster scales and global batch sizes, returning rows ready for table
+rendering.  The planner search space is restricted to the paper's
+practical range (pipeline groups within a machine, up to 4 stages) to
+keep benchmark runtimes reasonable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Mapping, Sequence
+
+from ..baselines import (
+    CDMStrategyConfig,
+    DataParallelBaseline,
+    GPipeBaseline,
+    ParallelCDMBaseline,
+    SequentialCDMBaseline,
+    SPPBaseline,
+    Zero3Baseline,
+)
+from ..cluster.topology import ClusterSpec, p4de_cluster
+from ..core.planner import DiffusionPipePlanner, PlannerOptions
+from ..errors import ConfigurationError, ReproError
+from ..models.graph import ModelSpec
+from ..profiling.profiler import Profiler
+from ..profiling.records import ProfileDB
+
+#: planner search space used by all Fig. 13 benchmarks
+BENCH_PLANNER_OPTIONS = PlannerOptions(
+    max_stages=4,
+    micro_batch_counts=(1, 2, 3, 4, 6, 8),
+    group_sizes=(2, 4, 8),
+)
+
+#: the paper's per-scale batch grids (Fig. 13a/b)
+SD_BATCHES: Mapping[int, tuple[int, ...]] = {
+    8: (64, 128, 256, 384),
+    16: (128, 256, 512, 768),
+    32: (256, 512, 1024, 1536),
+    64: (512, 1024, 2048, 3072),
+}
+
+#: Fig. 13c batch grids (CDM-LSUN)
+CDM_LSUN_BATCHES: Mapping[int, tuple[int, ...]] = {
+    8: (128, 256, 384, 512),
+    16: (256, 512, 768, 1024),
+    32: (512, 1024, 1536, 2048),
+    64: (1024, 2048, 3072, 4096),
+}
+
+#: Fig. 13d batch grids (CDM-ImageNet)
+CDM_IMAGENET_BATCHES: Mapping[int, tuple[int, ...]] = {
+    8: (64, 128, 256, 384),
+    16: (128, 256, 512, 768),
+    32: (256, 512, 1024, 1536),
+    64: (512, 1024, 2048, 3072),
+}
+
+
+@dataclass(frozen=True)
+class SweepCell:
+    """One (system, scale, batch) measurement."""
+
+    system: str
+    gpus: int
+    batch: int
+    throughput: float      # samples/s; 0.0 marks OOM / infeasible
+    oom: bool
+    label: str = ""
+
+
+def _cell(system: str, gpus: int, batch: int, throughput: float, oom: bool,
+          label: str = "") -> SweepCell:
+    return SweepCell(system=system, gpus=gpus, batch=batch,
+                     throughput=0.0 if oom else throughput, oom=oom, label=label)
+
+
+class ThroughputSweep:
+    """Evaluates all single-backbone systems over a scale x batch grid."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], ModelSpec],
+        *,
+        machine_counts: Sequence[int] = (1, 2, 4, 8),
+        batches: Mapping[int, tuple[int, ...]] | None = None,
+        planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
+    ):
+        self.model = model_factory()
+        self.machine_counts = tuple(machine_counts)
+        self.batches = dict(batches or SD_BATCHES)
+        self.planner_options = planner_options
+        # Layer profiles depend only on the device model, not the scale.
+        self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
+
+    def _cluster(self, machines: int) -> ClusterSpec:
+        return p4de_cluster(machines)
+
+    def run(self) -> list[SweepCell]:
+        """Evaluate DiffusionPipe, SPP, GPipe, DeepSpeed and ZeRO-3."""
+        cells: list[SweepCell] = []
+        for machines in self.machine_counts:
+            cluster = self._cluster(machines)
+            gpus = cluster.world_size
+            planner = DiffusionPipePlanner(
+                self.model, cluster, self.profile, options=self.planner_options
+            )
+            spp = SPPBaseline(
+                self.model, cluster, self.profile, options=self.planner_options
+            )
+            gpipe = GPipeBaseline(self.model, cluster, self.profile)
+            ddp = DataParallelBaseline(self.model, cluster, self.profile)
+            zero = Zero3Baseline(self.model, cluster, self.profile)
+            for batch in self.batches[gpus]:
+                try:
+                    ev = planner.plan(batch)
+                    cells.append(
+                        _cell("DiffusionPipe", gpus, batch, ev.plan.throughput,
+                              False, ev.plan.config_label)
+                    )
+                except ConfigurationError:
+                    cells.append(_cell("DiffusionPipe", gpus, batch, 0.0, True))
+                for system, engine in (
+                    ("SPP", spp),
+                    ("GPipe", gpipe),
+                    ("DeepSpeed", ddp),
+                    ("DeepSpeed-ZeRO-3", zero),
+                ):
+                    try:
+                        res = engine.run(batch)
+                        cells.append(
+                            _cell(system, gpus, batch, res.throughput, res.oom)
+                        )
+                    except ReproError:
+                        cells.append(_cell(system, gpus, batch, 0.0, True))
+        return cells
+
+
+class CDMThroughputSweep:
+    """Evaluates DiffusionPipe vs the -S/-P data-parallel CDM strategies."""
+
+    def __init__(
+        self,
+        model_factory: Callable[[], ModelSpec],
+        *,
+        machine_counts: Sequence[int] = (1, 2, 4, 8),
+        batches: Mapping[int, tuple[int, ...]] | None = None,
+        planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
+    ):
+        self.model = model_factory()
+        self.machine_counts = tuple(machine_counts)
+        self.batches = dict(batches or CDM_LSUN_BATCHES)
+        self.planner_options = planner_options
+        self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
+
+    def run(self) -> list[SweepCell]:
+        cells: list[SweepCell] = []
+        for machines in self.machine_counts:
+            cluster = p4de_cluster(machines)
+            gpus = cluster.world_size
+            planner = DiffusionPipePlanner(
+                self.model, cluster, self.profile, options=self.planner_options
+            )
+            engines = [
+                SequentialCDMBaseline(self.model, cluster, self.profile,
+                                      CDMStrategyConfig(zero3=False)),
+                ParallelCDMBaseline(self.model, cluster, self.profile,
+                                    CDMStrategyConfig(zero3=False)),
+                SequentialCDMBaseline(self.model, cluster, self.profile,
+                                      CDMStrategyConfig(zero3=True)),
+                ParallelCDMBaseline(self.model, cluster, self.profile,
+                                    CDMStrategyConfig(zero3=True)),
+            ]
+            for batch in self.batches[gpus]:
+                try:
+                    ev = planner.plan(batch)
+                    cells.append(
+                        _cell("DiffusionPipe", gpus, batch, ev.plan.throughput,
+                              False, ev.plan.config_label)
+                    )
+                except ConfigurationError:
+                    cells.append(_cell("DiffusionPipe", gpus, batch, 0.0, True))
+                for engine in engines:
+                    try:
+                        res = engine.run(batch)
+                        cells.append(
+                            _cell(engine.name, gpus, batch, res.throughput, res.oom)
+                        )
+                    except ReproError:
+                        cells.append(_cell(engine.name, gpus, batch, 0.0, True))
+        return cells
+
+
+def cells_to_rows(cells: Sequence[SweepCell]) -> list[list[str]]:
+    """Pivot sweep cells into (gpus, batch) rows with one system per column."""
+    systems = list(dict.fromkeys(c.system for c in cells))
+    keys = sorted({(c.gpus, c.batch) for c in cells})
+    by_key = {(c.system, c.gpus, c.batch): c for c in cells}
+    rows = []
+    for gpus, batch in keys:
+        row = [str(gpus), str(batch)]
+        for system in systems:
+            c = by_key.get((system, gpus, batch))
+            if c is None:
+                row.append("-")
+            elif c.oom:
+                row.append("OOM")
+            else:
+                row.append(f"{c.throughput:.0f}")
+        rows.append(row)
+    return rows
+
+
+def sweep_headers(cells: Sequence[SweepCell]) -> list[str]:
+    systems = list(dict.fromkeys(c.system for c in cells))
+    return ["GPUs", "Batch", *systems]

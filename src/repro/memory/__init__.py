@@ -1,0 +1,23 @@
+"""Per-device memory models and OOM detection."""
+
+from .estimator import (
+    FROZEN_STATE_BYTES_PER_PARAM,
+    TRAINABLE_STATE_BYTES_PER_PARAM,
+    component_state_bytes,
+    data_parallel_memory_report,
+    frozen_state_bytes,
+    pipeline_memory_report,
+    stage_activation_bytes,
+    stage_state_bytes,
+)
+
+__all__ = [
+    "FROZEN_STATE_BYTES_PER_PARAM",
+    "TRAINABLE_STATE_BYTES_PER_PARAM",
+    "component_state_bytes",
+    "data_parallel_memory_report",
+    "frozen_state_bytes",
+    "pipeline_memory_report",
+    "stage_activation_bytes",
+    "stage_state_bytes",
+]

@@ -1,0 +1,14 @@
+"""Model descriptions: layers, components, whole-model graphs, and the zoo."""
+
+from .component import ComponentSpec
+from .graph import ModelSpec
+from .layers import DTYPE_BYTES, LayerSpec, conv_block, transformer_block
+
+__all__ = [
+    "ComponentSpec",
+    "ModelSpec",
+    "LayerSpec",
+    "DTYPE_BYTES",
+    "conv_block",
+    "transformer_block",
+]

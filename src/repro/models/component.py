@@ -1,0 +1,137 @@
+"""Components: linearly-ordered chains of layers.
+
+A diffusion model (Fig. 1 of the paper) is a set of *components*:
+trainable backbones (U-Net, DiT) and frozen encoders (CLIP text encoder,
+VAE, ControlNet condition encoders).  Layers inside a component are
+linearly dependent; components themselves form a DAG (handled by
+:mod:`repro.models.graph`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..errors import ConfigurationError
+from .layers import LayerSpec
+
+
+@dataclass(frozen=True)
+class ComponentSpec:
+    """A named, ordered chain of layers.
+
+    Parameters
+    ----------
+    name:
+        Unique component name within the model.
+    layers:
+        The ordered layer chain.
+    trainable:
+        Whether this component is part of the trainable backbone set.
+        All layers of a trainable component must be trainable and
+        vice versa (the paper's model split is at component granularity).
+    depends_on:
+        Names of components whose outputs feed this component.
+    """
+
+    name: str
+    layers: tuple[LayerSpec, ...]
+    trainable: bool = False
+    depends_on: tuple[str, ...] = ()
+
+    def __init__(
+        self,
+        name: str,
+        layers: Sequence[LayerSpec],
+        trainable: bool = False,
+        depends_on: Sequence[str] = (),
+    ):
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "layers", tuple(layers))
+        object.__setattr__(self, "trainable", bool(trainable))
+        object.__setattr__(self, "depends_on", tuple(depends_on))
+        self._validate()
+
+    def _validate(self) -> None:
+        if not self.name:
+            raise ConfigurationError("component name must be non-empty")
+        if not self.layers:
+            raise ConfigurationError(f"component {self.name} has no layers")
+        names = [l.name for l in self.layers]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"component {self.name} has duplicate layer names"
+            )
+        for layer in self.layers:
+            if layer.trainable != self.trainable:
+                raise ConfigurationError(
+                    f"component {self.name}: layer {layer.name} trainable flag "
+                    f"({layer.trainable}) disagrees with component ({self.trainable})"
+                )
+        if self.name in self.depends_on:
+            raise ConfigurationError(f"component {self.name} depends on itself")
+
+    # -- container protocol ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+    def __iter__(self) -> Iterator[LayerSpec]:
+        return iter(self.layers)
+
+    def __getitem__(self, index: int) -> LayerSpec:
+        return self.layers[index]
+
+    # -- aggregates -----------------------------------------------------------
+
+    @property
+    def num_layers(self) -> int:
+        """Number of layers in the chain."""
+        return len(self.layers)
+
+    @property
+    def param_bytes(self) -> float:
+        """Total parameter bytes."""
+        return sum(l.param_bytes for l in self.layers)
+
+    @property
+    def grad_bytes(self) -> float:
+        """Total gradient bytes (zero for frozen components)."""
+        return sum(l.grad_bytes for l in self.layers)
+
+    def forward_flops(self, batch_size: float) -> float:
+        """Total forward FLOPs at a batch size."""
+        return sum(l.forward_flops(batch_size) for l in self.layers)
+
+    def backward_flops(self, batch_size: float) -> float:
+        """Total backward FLOPs at a batch size."""
+        return sum(l.backward_flops(batch_size) for l in self.layers)
+
+    def output_bytes(self, batch_size: float) -> float:
+        """Output size of the final layer at a batch size."""
+        return self.layers[-1].output_bytes(batch_size)
+
+    # -- derived components -----------------------------------------------------
+
+    def slice(self, start: int, stop: int, name: str | None = None) -> "ComponentSpec":
+        """A sub-chain ``[start, stop)`` as a new component."""
+        if not (0 <= start < stop <= self.num_layers):
+            raise ConfigurationError(
+                f"invalid slice [{start}, {stop}) of component {self.name} "
+                f"with {self.num_layers} layers"
+            )
+        return ComponentSpec(
+            name=name or f"{self.name}[{start}:{stop}]",
+            layers=self.layers[start:stop],
+            trainable=self.trainable,
+            depends_on=self.depends_on,
+        )
+
+    def frozen(self, name: str | None = None) -> "ComponentSpec":
+        """A non-trainable copy (e.g. the locked U-Net in ControlNet)."""
+        return ComponentSpec(
+            name=name or self.name,
+            layers=[l.frozen() for l in self.layers],
+            trainable=False,
+            depends_on=self.depends_on,
+        )

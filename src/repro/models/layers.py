@@ -1,0 +1,173 @@
+"""Layer-level model description.
+
+DiffusionPipe's algorithms never inspect weights — they consume, per
+layer: forward/backward time at a batch size, parameter/gradient size,
+and output size (for inter-stage communication).  :class:`LayerSpec`
+carries exactly that metadata, expressed *per sample* so any batch size
+can be derived.
+
+Backward cost is modelled as ``backward_flops_multiplier x`` the forward
+FLOPs (2.0 for trainable layers by the usual rule of thumb; irrelevant
+for frozen layers, which only run forward).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import ConfigurationError
+
+#: bytes per parameter / activation element (fp16 storage, fp32 master
+#: weights are accounted separately in the memory model).
+DTYPE_BYTES = 2
+
+
+@dataclass(frozen=True)
+class LayerSpec:
+    """Cost/size description of a single layer.
+
+    Parameters
+    ----------
+    name:
+        Layer name, unique within its component.
+    flops_per_sample:
+        Forward FLOPs for one sample.
+    param_bytes:
+        Total parameter bytes (0 for parameter-free layers).
+    output_bytes_per_sample:
+        Size of the layer's output activation for one sample; this is
+        the inter-stage communication volume if a pipeline cut is placed
+        after this layer.
+    activation_bytes_per_sample:
+        Bytes of intermediate state that must be retained for the
+        backward pass (defaults to the output size).
+    trainable:
+        Whether the layer participates in backpropagation.
+    backward_flops_multiplier:
+        Backward FLOPs = multiplier * forward FLOPs.
+    fixed_overhead_ms:
+        Extra fixed time per invocation on top of the device kernel
+        overhead (e.g. attention softmax setup, python dispatch).
+    """
+
+    name: str
+    flops_per_sample: float
+    param_bytes: float = 0.0
+    output_bytes_per_sample: float = 0.0
+    activation_bytes_per_sample: float | None = None
+    trainable: bool = True
+    backward_flops_multiplier: float = 2.0
+    fixed_overhead_ms: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.flops_per_sample < 0:
+            raise ConfigurationError(f"layer {self.name}: negative FLOPs")
+        if self.param_bytes < 0:
+            raise ConfigurationError(f"layer {self.name}: negative param bytes")
+        if self.output_bytes_per_sample < 0:
+            raise ConfigurationError(f"layer {self.name}: negative output bytes")
+        if self.backward_flops_multiplier < 0:
+            raise ConfigurationError(
+                f"layer {self.name}: negative backward multiplier"
+            )
+        if self.activation_bytes_per_sample is None:
+            object.__setattr__(
+                self, "activation_bytes_per_sample", self.output_bytes_per_sample
+            )
+
+    # -- derived sizes -------------------------------------------------------
+
+    @property
+    def grad_bytes(self) -> float:
+        """Gradient bytes (== parameter bytes for trainable layers)."""
+        return self.param_bytes if self.trainable else 0.0
+
+    def output_bytes(self, batch_size: float) -> float:
+        """Activation output size at a batch size (paper's ``O_l(B)``)."""
+        return self.output_bytes_per_sample * batch_size
+
+    def activation_bytes(self, batch_size: float) -> float:
+        """Stored-activation bytes at a batch size."""
+        assert self.activation_bytes_per_sample is not None
+        return self.activation_bytes_per_sample * batch_size
+
+    # -- derived costs -------------------------------------------------------
+
+    def forward_flops(self, batch_size: float) -> float:
+        """Total forward FLOPs at a batch size."""
+        return self.flops_per_sample * batch_size
+
+    def backward_flops(self, batch_size: float) -> float:
+        """Total backward FLOPs at a batch size (0 for frozen layers)."""
+        if not self.trainable:
+            return 0.0
+        return self.backward_flops_multiplier * self.flops_per_sample * batch_size
+
+    def frozen(self) -> "LayerSpec":
+        """A non-trainable copy of this layer."""
+        return replace(self, trainable=False)
+
+    def scaled(self, factor: float) -> "LayerSpec":
+        """A copy with FLOPs, params and sizes scaled by ``factor``."""
+        if factor <= 0:
+            raise ConfigurationError("scale factor must be positive")
+        assert self.activation_bytes_per_sample is not None
+        return replace(
+            self,
+            flops_per_sample=self.flops_per_sample * factor,
+            param_bytes=self.param_bytes * factor,
+            output_bytes_per_sample=self.output_bytes_per_sample * factor,
+            activation_bytes_per_sample=self.activation_bytes_per_sample * factor,
+        )
+
+
+def transformer_block(
+    name: str,
+    hidden: int,
+    seq_len: int,
+    trainable: bool = True,
+    mlp_ratio: float = 4.0,
+) -> LayerSpec:
+    """A standard transformer block's cost/size footprint.
+
+    FLOPs per sample ~= 2 * (4 h^2 + 2 h^2 mlp_ratio) * seq + 4 h seq^2
+    (QKV/out projections + MLP + attention matmuls).  Parameters
+    ~= (4 + 2 * mlp_ratio) h^2.
+    """
+    proj_flops = 2.0 * 4.0 * hidden * hidden * seq_len
+    mlp_flops = 2.0 * 2.0 * mlp_ratio * hidden * hidden * seq_len
+    attn_flops = 4.0 * hidden * seq_len * seq_len
+    params = (4.0 + 2.0 * mlp_ratio) * hidden * hidden * DTYPE_BYTES
+    out = hidden * seq_len * DTYPE_BYTES
+    return LayerSpec(
+        name=name,
+        flops_per_sample=proj_flops + mlp_flops + attn_flops,
+        param_bytes=params,
+        output_bytes_per_sample=out,
+        activation_bytes_per_sample=out * 4.0,  # attention keeps several maps
+        trainable=trainable,
+    )
+
+
+def conv_block(
+    name: str,
+    channels_in: int,
+    channels_out: int,
+    resolution: int,
+    kernel: int = 3,
+    trainable: bool = True,
+) -> LayerSpec:
+    """A convolutional (ResNet-style) block footprint at a spatial size."""
+    if resolution <= 0:
+        raise ConfigurationError("resolution must be positive")
+    flops = 2.0 * channels_in * channels_out * kernel * kernel * resolution * resolution
+    params = channels_in * channels_out * kernel * kernel * DTYPE_BYTES
+    out = channels_out * resolution * resolution * DTYPE_BYTES
+    return LayerSpec(
+        name=name,
+        flops_per_sample=flops,
+        param_bytes=params,
+        output_bytes_per_sample=out,
+        activation_bytes_per_sample=out * 2.0,
+        trainable=trainable,
+    )

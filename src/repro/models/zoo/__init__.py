@@ -1,0 +1,41 @@
+"""Model zoo: the paper's four models plus synthetic test models."""
+
+from .cdm import cdm_imagenet, cdm_lsun, class_embed
+from .controlnet import control_branch, controlnet_v1_0, hint_encoder
+from .dit import dit_backbone, dit_xl, t5_encoder
+from .stable_diffusion import (
+    stable_diffusion_v2_1,
+    text_encoder,
+    unet_backbone,
+    vae_encoder,
+)
+from .synthetic import (
+    cascaded_model,
+    long_layer_model,
+    timed_component,
+    timed_layer,
+    two_encoder_model,
+    uniform_model,
+)
+
+__all__ = [
+    "cdm_imagenet",
+    "cdm_lsun",
+    "class_embed",
+    "control_branch",
+    "controlnet_v1_0",
+    "hint_encoder",
+    "dit_backbone",
+    "dit_xl",
+    "t5_encoder",
+    "stable_diffusion_v2_1",
+    "text_encoder",
+    "unet_backbone",
+    "vae_encoder",
+    "cascaded_model",
+    "long_layer_model",
+    "timed_component",
+    "timed_layer",
+    "two_encoder_model",
+    "uniform_model",
+]

@@ -1,0 +1,133 @@
+"""Cascaded Diffusion Models (CDM-LSUN, CDM-ImageNet).
+
+CDMs chain several backbones of increasing resolution (Ho et al. 2022).
+The paper trains CDM-LSUN's two backbones (64x64 base + 128x128
+super-resolution) with bidirectional pipelining and, for CDM-ImageNet,
+only backbones 2 and 3 (training all three exceeds GPU memory).  Neither
+model has a text encoder: the conditional input is a class embedding, so
+the non-trainable part is tiny ("there is little non-trainable part to
+fill bubbles", §6.1), and backbone sizes are close to each other.
+
+Self-conditioning is not enabled (Table 5).
+"""
+
+from __future__ import annotations
+
+from ...cluster.device import DeviceSpec, a100_80gb
+from ..component import ComponentSpec
+from ..graph import ModelSpec
+from .calibration import layers_from_time_weights
+from .stable_diffusion import _unet_forward_target_ms
+
+#: per-layer forward fixed overhead of CDM backbone blocks
+CDM_LAYER_OVERHEAD_MS = 0.5
+
+#: calibration at B = 64 on one A100 (ms): forward+backward totals.
+#: Backbone sizes "relatively close to each other" (§6.1).
+LSUN_BASE_TRAIN_MS = 950.0
+LSUN_SR_TRAIN_MS = 1150.0
+IMAGENET_SR1_TRAIN_MS = 1100.0
+IMAGENET_SR2_TRAIN_MS = 1500.0
+
+#: class-embedding (frozen) forward total: tiny
+CLASS_EMBED_MS = 4.0
+
+LSUN_BASE_PARAMS = 350e6 * 2
+LSUN_SR_PARAMS = 450e6 * 2
+IMAGENET_SR1_PARAMS = 400e6 * 2
+IMAGENET_SR2_PARAMS = 600e6 * 2
+
+_BASE_OUTPUT = 256 * 64 * 64 * 2.0
+_SR_OUTPUT = 128 * 128 * 128 * 2.0
+_SR2_OUTPUT = 64 * 256 * 256 * 2.0
+
+#: stored-activation bytes per sample per block, scaling with the
+#: backbone's working resolution (64^2 / 128^2 / 256^2).
+_BASE_ACT = 8e6
+_SR_ACT = 24e6
+_SR2_ACT = 48e6
+
+
+def _uniformish(n: int) -> list[float]:
+    """Near-uniform block weights with a mild mid-network hump."""
+    return [1.0 + 0.2 * min(i, n - 1 - i) / max(n // 2, 1) for i in range(n)]
+
+
+def _backbone(
+    name: str,
+    train_ms: float,
+    n_layers: int,
+    param_bytes: float,
+    output_bytes: float,
+    activation_bytes: float,
+    device: DeviceSpec,
+    depends_on: tuple[str, ...] = ("class_embed",),
+) -> ComponentSpec:
+    fwd_total = _unet_forward_target_ms(
+        train_ms, n_layers, CDM_LAYER_OVERHEAD_MS, device
+    )
+    layers = layers_from_time_weights(
+        f"{name}_block",
+        _uniformish(n_layers),
+        fwd_total,
+        trainable=True,
+        param_bytes_total=param_bytes,
+        output_bytes_per_sample=output_bytes,
+        activation_bytes_per_sample=activation_bytes,
+        device=device,
+        fixed_overhead_ms=CDM_LAYER_OVERHEAD_MS,
+    )
+    return ComponentSpec(name=name, layers=layers, trainable=True, depends_on=depends_on)
+
+
+def class_embed(device: DeviceSpec | None = None) -> ComponentSpec:
+    """The (tiny) frozen class-conditioning embedding."""
+    layers = layers_from_time_weights(
+        "class_embed",
+        [1.0, 1.0],
+        CLASS_EMBED_MS,
+        trainable=False,
+        param_bytes_total=2e6 * 2,
+        output_bytes_per_sample=1024 * 2.0,
+        device=device or a100_80gb(),
+        fixed_overhead_ms=0.02,
+    )
+    return ComponentSpec(name="class_embed", layers=layers, trainable=False)
+
+
+def cdm_lsun(device: DeviceSpec | None = None) -> ModelSpec:
+    """CDM-LSUN: 64x64 base + 128x128 super-resolution backbones."""
+    device = device or a100_80gb()
+    return ModelSpec(
+        name="cdm-lsun",
+        components=[
+            class_embed(device),
+            _backbone("base_64", LSUN_BASE_TRAIN_MS, 26, LSUN_BASE_PARAMS,
+                      _BASE_OUTPUT, _BASE_ACT, device),
+            _backbone("sr_128", LSUN_SR_TRAIN_MS, 26, LSUN_SR_PARAMS,
+                      _SR_OUTPUT, _SR_ACT, device),
+        ],
+        backbone_names=("base_64", "sr_128"),
+        self_conditioning=False,
+    )
+
+
+def cdm_imagenet(device: DeviceSpec | None = None) -> ModelSpec:
+    """CDM-ImageNet restricted to backbones 2 and 3 (as trained in §6).
+
+    The paper trains only the second and third backbones because all
+    three exceed GPU memory.
+    """
+    device = device or a100_80gb()
+    return ModelSpec(
+        name="cdm-imagenet",
+        components=[
+            class_embed(device),
+            _backbone("sr_128", IMAGENET_SR1_TRAIN_MS, 26, IMAGENET_SR1_PARAMS,
+                      _SR_OUTPUT, _SR_ACT, device),
+            _backbone("sr_256", IMAGENET_SR2_TRAIN_MS, 30, IMAGENET_SR2_PARAMS,
+                      _SR2_OUTPUT, _SR2_ACT, device),
+        ],
+        backbone_names=("sr_128", "sr_256"),
+        self_conditioning=False,
+    )

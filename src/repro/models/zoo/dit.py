@@ -1,0 +1,103 @@
+"""Diffusion-transformer (DiT) model — the paper's §7 extension target.
+
+The conclusion of the paper names "training or fine-tuning diffusion
+models with transformer backbones (PixArt-alpha, SiT, ...)" as a direct
+extension of the bubble-filling design.  This module provides a
+PixArt-alpha-style model: a DiT-XL/2 trainable backbone (28 uniform
+transformer blocks — ideal for pipelining) conditioned on a *frozen
+T5-XXL text encoder*, whose forward pass is far heavier than CLIP's,
+plus the usual frozen VAE.
+
+There are no paper tables to calibrate against; the layer times follow
+the same device cost model as the rest of the zoo with architecture-
+derived relative weights.  Uniform transformer blocks make the DP
+partitioner's job easy and the frozen part large — the configuration
+where bubble filling shines (see
+``benchmarks/test_ext_dit_throughput.py``).
+"""
+
+from __future__ import annotations
+
+from ...cluster.device import DeviceSpec, a100_80gb
+from ..component import ComponentSpec
+from ..graph import ModelSpec
+from .calibration import layers_from_time_weights
+from .stable_diffusion import _unet_forward_target_ms, vae_encoder
+
+#: calibration targets at B = 64 on one A100 (ms)
+DIT_TRAIN_MS = 2000.0
+DIT_LAYER_OVERHEAD_MS = 0.4
+T5_ENCODER_MS = 420.0
+
+#: DiT-XL ~675 M params; T5-XXL encoder ~4.6 B params (fp16)
+DIT_PARAM_BYTES = 675e6 * 2
+T5_PARAM_BYTES = 4.6e9 * 2
+
+#: 32x32 latent patches x 1152 hidden; T5 at 120 tokens x 4096
+DIT_OUTPUT_BYTES = 1024 * 1152 * 2.0
+T5_OUTPUT_BYTES = 120 * 4096 * 2.0
+
+#: stored activations per block per sample (attention maps dominate)
+DIT_ACTIVATION_BYTES = 30e6
+
+#: 28 uniform DiT blocks + embedding + final layer
+_DIT_WEIGHTS = [0.4] + [1.0] * 28 + [0.4]
+
+#: T5-XXL encoder: embedding + 24 heavy blocks + final norm
+_T5_WEIGHTS = [0.3] + [1.0] * 24 + [0.2]
+
+
+def dit_backbone(device: DeviceSpec | None = None) -> ComponentSpec:
+    """The trainable DiT-XL/2 backbone."""
+    device = device or a100_80gb()
+    fwd_total = _unet_forward_target_ms(
+        DIT_TRAIN_MS, len(_DIT_WEIGHTS), DIT_LAYER_OVERHEAD_MS, device
+    )
+    layers = layers_from_time_weights(
+        "dit_block",
+        _DIT_WEIGHTS,
+        fwd_total,
+        trainable=True,
+        param_bytes_total=DIT_PARAM_BYTES,
+        output_bytes_per_sample=DIT_OUTPUT_BYTES,
+        activation_bytes_per_sample=DIT_ACTIVATION_BYTES,
+        device=device,
+        fixed_overhead_ms=DIT_LAYER_OVERHEAD_MS,
+    )
+    return ComponentSpec(
+        name="dit",
+        layers=layers,
+        trainable=True,
+        depends_on=("t5_encoder", "vae_encoder"),
+    )
+
+
+def t5_encoder(device: DeviceSpec | None = None) -> ComponentSpec:
+    """The frozen T5-XXL text encoder (heavy, uniform blocks)."""
+    layers = layers_from_time_weights(
+        "t5_block",
+        _T5_WEIGHTS,
+        T5_ENCODER_MS,
+        trainable=False,
+        param_bytes_total=T5_PARAM_BYTES,
+        output_bytes_per_sample=T5_OUTPUT_BYTES,
+        device=device or a100_80gb(),
+        fixed_overhead_ms=0.05,
+    )
+    return ComponentSpec(name="t5_encoder", layers=layers, trainable=False)
+
+
+def dit_xl(device: DeviceSpec | None = None, self_conditioning: bool = False) -> ModelSpec:
+    """PixArt-alpha-style DiT model: DiT-XL/2 + frozen T5-XXL + VAE."""
+    device = device or a100_80gb()
+    return ModelSpec(
+        name="dit-xl-pixart",
+        components=[
+            t5_encoder(device),
+            vae_encoder(device),
+            dit_backbone(device),
+        ],
+        backbone_names=("dit",),
+        self_conditioning=self_conditioning,
+        self_conditioning_prob=0.5,
+    )

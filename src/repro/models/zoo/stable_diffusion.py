@@ -1,0 +1,184 @@
+"""Stable Diffusion v2.1 model description.
+
+Structure (paper Fig. 1): a trainable U-Net backbone conditioned on a
+frozen CLIP text encoder and a frozen VAE image encoder, trained at
+512x512 inputs (64x64 latents) with self-conditioning enabled (Table 5).
+
+Calibration (see :mod:`repro.models.zoo.calibration`): trainable
+forward+backward = 2475 ms and non-trainable forward = 1089 ms at batch
+size 64 on one A100, which reproduces Table 1 row 1 (38/41/43/44 %) and,
+through the pipeline simulator, the Fig. 4 bubble grid.  The per-layer
+split follows Fig. 5a: ~22 sub-10 ms text-encoder layers, moderate
+(< 30 ms) VAE layers, and extra-long (> 400 ms) early VAE blocks at high
+resolution.
+"""
+
+from __future__ import annotations
+
+from ...cluster.device import DeviceSpec, a100_80gb
+from ..component import ComponentSpec
+from ..graph import ModelSpec
+from .calibration import layers_from_time_weights
+
+# -- calibration targets at B = 64 on A100 (ms) -----------------------------
+
+#: trainable U-Net forward+backward total
+UNET_TRAIN_MS = 2475.0
+#: per-layer forward fixed overhead of backbone blocks (backward pays 2x)
+UNET_LAYER_OVERHEAD_MS = 0.79
+#: frozen CLIP text encoder forward total
+TEXT_ENCODER_MS = 47.0
+#: frozen VAE image encoder forward total
+VAE_ENCODER_MS = 1042.0
+
+#: parameter bytes (fp16): U-Net ~865 M params, CLIP-H text ~340 M, VAE ~34 M
+UNET_PARAM_BYTES = 865e6 * 2
+TEXT_PARAM_BYTES = 340e6 * 2
+VAE_PARAM_BYTES = 34e6 * 2
+
+#: activation handoff sizes per sample (latent-resolution feature maps)
+UNET_OUTPUT_BYTES = 320 * 64 * 64 * 2.0
+TEXT_OUTPUT_BYTES = 77 * 1024 * 2.0
+VAE_OUTPUT_BYTES = 4 * 64 * 64 * 2.0
+
+#: stored-activation bytes per sample per backbone block, calibrated so
+#: that DDP training at 512x512 matches the published memory footprint
+#: (~24.3 GB at local batch 8, Rombach et al.; OOM near local batch 48
+#: on 80 GB devices as in Fig. 13a).  Each block retains many
+#: intermediate feature/attention maps, hence >> its output size.
+UNET_ACTIVATION_BYTES = 42e6
+
+#: U-Net block weights: conv_in, 4 down blocks per resolution tier
+#: (64/32/16/8), 2 mid, mirrored up path with skip-concat overhead, conv_out.
+_UNET_WEIGHTS = (
+    [0.5]
+    + [1.6] * 4   # down, latent res 64
+    + [1.3] * 4   # down, res 32
+    + [1.0] * 4   # down, res 16
+    + [0.8] * 2   # down, res 8
+    + [0.9] * 2   # mid
+    + [0.9] * 3   # up, res 8
+    + [1.1] * 4   # up, res 16
+    + [1.4] * 4   # up, res 32
+    + [1.7] * 4   # up, res 64
+    + [0.5]
+)
+
+#: CLIP text-encoder weights: embedding, 21 transformer blocks of slightly
+#: varying cost, final layer-norm + projection (23 layers, Fig. 5a idx 0-22).
+_TEXT_WEIGHTS = [0.3] + [2.0 + 0.07 * (i % 5) for i in range(21)] + [0.6]
+
+#: VAE encoder weights, proportional to per-layer times (ms) at B=64.
+#: The 420/260/150 entries are the paper's extra-long layers (Fig. 5a,
+#: Fig. 6): early residual blocks at 512x512 resolution.
+_VAE_WEIGHTS = [
+    12.0,   # conv_in @512
+    420.0,  # down0 res-block 0 (extra-long, top-1 in Fig. 6)
+    260.0,  # down0 res-block 1 (top-2)
+    25.0,   # down0 downsample
+    150.0,  # down1 res-block 0 (top-3)
+    80.0,   # down1 res-block 1
+    12.0,   # down1 downsample
+    28.0,   # down2 res-block 0
+    26.0,   # down2 res-block 1
+    6.0,    # down2 downsample
+    14.0,   # down3 res-block 0
+    13.0,   # down3 res-block 1
+    8.0,    # mid res-block 0
+    9.0,    # mid attention
+    8.0,    # mid res-block 1
+    3.0,    # norm_out
+    4.0,    # conv_out
+    2.0,    # quant_conv
+    1.0,    # latent sampling
+]
+
+
+def _unet_forward_target_ms(
+    total_train_ms: float, n_layers: int, overhead_ms: float, device: DeviceSpec
+) -> float:
+    """Forward-time total that yields ``total_train_ms`` forward+backward.
+
+    With backward compute = 2x forward compute and backward fixed
+    overhead = 2x forward fixed overhead:
+    ``train = n (2 ko + 3 fo) + 3 C`` and ``fwd = n (ko + fo) + C``.
+    """
+    ko = device.kernel_overhead_ms
+    compute = (total_train_ms - n_layers * (2 * ko + 3 * overhead_ms)) / 3.0
+    return n_layers * (ko + overhead_ms) + compute
+
+
+def unet_backbone(device: DeviceSpec | None = None) -> ComponentSpec:
+    """The trainable U-Net backbone."""
+    device = device or a100_80gb()
+    fwd_total = _unet_forward_target_ms(
+        UNET_TRAIN_MS, len(_UNET_WEIGHTS), UNET_LAYER_OVERHEAD_MS, device
+    )
+    layers = layers_from_time_weights(
+        "unet_block",
+        _UNET_WEIGHTS,
+        fwd_total,
+        trainable=True,
+        param_bytes_total=UNET_PARAM_BYTES,
+        output_bytes_per_sample=UNET_OUTPUT_BYTES,
+        activation_bytes_per_sample=UNET_ACTIVATION_BYTES,
+        device=device,
+        fixed_overhead_ms=UNET_LAYER_OVERHEAD_MS,
+    )
+    return ComponentSpec(
+        name="unet",
+        layers=layers,
+        trainable=True,
+        depends_on=("text_encoder", "vae_encoder"),
+    )
+
+
+def text_encoder(device: DeviceSpec | None = None) -> ComponentSpec:
+    """The frozen CLIP text encoder."""
+    layers = layers_from_time_weights(
+        "clip_text",
+        _TEXT_WEIGHTS,
+        TEXT_ENCODER_MS,
+        trainable=False,
+        param_bytes_total=TEXT_PARAM_BYTES,
+        output_bytes_per_sample=TEXT_OUTPUT_BYTES,
+        device=device or a100_80gb(),
+        fixed_overhead_ms=0.03,
+    )
+    return ComponentSpec(name="text_encoder", layers=layers, trainable=False)
+
+
+def vae_encoder(device: DeviceSpec | None = None) -> ComponentSpec:
+    """The frozen VAE image encoder (contains the extra-long layers)."""
+    layers = layers_from_time_weights(
+        "vae_enc",
+        _VAE_WEIGHTS,
+        VAE_ENCODER_MS,
+        trainable=False,
+        param_bytes_total=VAE_PARAM_BYTES,
+        output_bytes_per_sample=VAE_OUTPUT_BYTES,
+        device=device or a100_80gb(),
+        fixed_overhead_ms=0.05,
+    )
+    return ComponentSpec(name="vae_encoder", layers=layers, trainable=False)
+
+
+def stable_diffusion_v2_1(
+    device: DeviceSpec | None = None, self_conditioning: bool = True
+) -> ModelSpec:
+    """Stable Diffusion v2.1 as trained in the paper (Table 5).
+
+    ``self_conditioning=False`` gives the "vanilla case" of Fig. 13a.
+    """
+    device = device or a100_80gb()
+    return ModelSpec(
+        name="stable-diffusion-v2.1",
+        components=[
+            text_encoder(device),
+            vae_encoder(device),
+            unet_backbone(device),
+        ],
+        backbone_names=("unet",),
+        self_conditioning=self_conditioning,
+        self_conditioning_prob=0.5,
+    )

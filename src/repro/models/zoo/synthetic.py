@@ -1,0 +1,199 @@
+"""Parametric synthetic models for tests, examples and ablations.
+
+These builders create small, fully-controlled :class:`ModelSpec` objects
+whose layer times are easy to reason about, so unit and property tests
+can assert exact scheduling behaviour without zoo-calibration noise.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...cluster.device import DeviceSpec, a100_80gb
+from ..component import ComponentSpec
+from ..graph import ModelSpec
+from ..layers import LayerSpec
+from .calibration import flops_for_forward_time
+
+
+def timed_layer(
+    name: str,
+    forward_ms: float,
+    *,
+    batch_size: float = 64,
+    device: DeviceSpec | None = None,
+    trainable: bool = True,
+    param_bytes: float = 1e6,
+    output_bytes_per_sample: float = 1e4,
+) -> LayerSpec:
+    """A layer whose forward time is ``forward_ms`` at ``batch_size``.
+
+    The inversion is exact at the anchor batch size; at other batch
+    sizes the time follows the device's utilisation curve.
+    """
+    device = device or a100_80gb()
+    flops = flops_for_forward_time(forward_ms, batch_size, device)
+    return LayerSpec(
+        name=name,
+        flops_per_sample=flops,
+        param_bytes=param_bytes,
+        output_bytes_per_sample=output_bytes_per_sample,
+        trainable=trainable,
+    )
+
+
+def timed_component(
+    name: str,
+    forward_times_ms: Sequence[float],
+    *,
+    trainable: bool = False,
+    depends_on: Sequence[str] = (),
+    batch_size: float = 64,
+    device: DeviceSpec | None = None,
+    param_bytes_per_layer: float = 1e6,
+    output_bytes_per_sample: float = 1e4,
+) -> ComponentSpec:
+    """A component whose layer-forward times are given explicitly."""
+    layers = [
+        timed_layer(
+            f"{name}_l{i}",
+            t,
+            batch_size=batch_size,
+            device=device,
+            trainable=trainable,
+            param_bytes=param_bytes_per_layer,
+            output_bytes_per_sample=output_bytes_per_sample,
+        )
+        for i, t in enumerate(forward_times_ms)
+    ]
+    return ComponentSpec(
+        name=name, layers=layers, trainable=trainable, depends_on=depends_on
+    )
+
+
+def uniform_model(
+    *,
+    backbone_layers: int = 8,
+    backbone_layer_ms: float = 10.0,
+    encoder_layers: int = 6,
+    encoder_layer_ms: float = 4.0,
+    device: DeviceSpec | None = None,
+    self_conditioning: bool = False,
+) -> ModelSpec:
+    """One backbone of uniform layers + one frozen encoder.
+
+    The workhorse of the unit tests: partitioning a uniform backbone has
+    a known optimal answer (equal splits).
+    """
+    device = device or a100_80gb()
+    backbone = timed_component(
+        "backbone",
+        [backbone_layer_ms] * backbone_layers,
+        trainable=True,
+        depends_on=("encoder",),
+        device=device,
+    )
+    encoder = timed_component(
+        "encoder", [encoder_layer_ms] * encoder_layers, device=device
+    )
+    return ModelSpec(
+        name="uniform-synthetic",
+        components=[encoder, backbone],
+        backbone_names=("backbone",),
+        self_conditioning=self_conditioning,
+    )
+
+
+def two_encoder_model(
+    *,
+    backbone_layers: int = 8,
+    backbone_layer_ms: float = 12.0,
+    device: DeviceSpec | None = None,
+) -> ModelSpec:
+    """A backbone + two frozen encoders with a dependency between them.
+
+    ``encoder_b`` depends on ``encoder_a``, exercising the ready-set
+    logic of the bubble filler.
+    """
+    device = device or a100_80gb()
+    enc_a = timed_component("encoder_a", [3.0, 5.0, 2.0], device=device)
+    enc_b = timed_component(
+        "encoder_b", [4.0, 6.0], depends_on=("encoder_a",), device=device
+    )
+    backbone = timed_component(
+        "backbone",
+        [backbone_layer_ms] * backbone_layers,
+        trainable=True,
+        depends_on=("encoder_a", "encoder_b"),
+        device=device,
+    )
+    return ModelSpec(
+        name="two-encoder-synthetic",
+        components=[enc_a, enc_b, backbone],
+        backbone_names=("backbone",),
+    )
+
+
+def cascaded_model(
+    *,
+    layers_a: int = 6,
+    layers_b: int = 6,
+    layer_ms_a: float = 10.0,
+    layer_ms_b: float = 12.0,
+    device: DeviceSpec | None = None,
+) -> ModelSpec:
+    """A two-backbone cascaded model for bidirectional-pipeline tests."""
+    device = device or a100_80gb()
+    embed = timed_component("embed", [1.0], device=device)
+    bb_a = timed_component(
+        "backbone_a",
+        [layer_ms_a] * layers_a,
+        trainable=True,
+        depends_on=("embed",),
+        device=device,
+    )
+    bb_b = timed_component(
+        "backbone_b",
+        [layer_ms_b] * layers_b,
+        trainable=True,
+        depends_on=("embed",),
+        device=device,
+    )
+    return ModelSpec(
+        name="cascaded-synthetic",
+        components=[embed, bb_a, bb_b],
+        backbone_names=("backbone_a", "backbone_b"),
+    )
+
+
+def long_layer_model(
+    *,
+    long_layer_ms: float = 400.0,
+    short_layer_ms: float = 5.0,
+    short_layers: int = 10,
+    backbone_layers: int = 8,
+    backbone_layer_ms: float = 40.0,
+    device: DeviceSpec | None = None,
+) -> ModelSpec:
+    """A model with one extra-long frozen layer that cannot fit in any
+    bubble at full batch — the partial-batch test case (§5, Fig. 12)."""
+    device = device or a100_80gb()
+    encoder = timed_component(
+        "encoder",
+        [short_layer_ms] * (short_layers // 2)
+        + [long_layer_ms]
+        + [short_layer_ms] * (short_layers - short_layers // 2),
+        device=device,
+    )
+    backbone = timed_component(
+        "backbone",
+        [backbone_layer_ms] * backbone_layers,
+        trainable=True,
+        depends_on=("encoder",),
+        device=device,
+    )
+    return ModelSpec(
+        name="long-layer-synthetic",
+        components=[encoder, backbone],
+        backbone_names=("backbone",),
+    )

@@ -1,0 +1,12 @@
+"""Parallel profiling (Fig. 7 step 1) and the profile database."""
+
+from .profiler import DEFAULT_BATCH_GRID, Profiler, ProfilingReport
+from .records import LayerProfile, ProfileDB
+
+__all__ = [
+    "DEFAULT_BATCH_GRID",
+    "Profiler",
+    "ProfilingReport",
+    "LayerProfile",
+    "ProfileDB",
+]

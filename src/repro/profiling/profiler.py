@@ -1,0 +1,159 @@
+"""The profiler (Fig. 7, step 1).
+
+DiffusionPipe first profiles every model layer at a grid of batch sizes,
+in parallel across the whole cluster, and feeds the resulting records to
+the partitioning and bubble-filling algorithms.  Here "measurement"
+evaluates the analytic device cost model of
+:mod:`repro.models.zoo.calibration`, optionally perturbed by
+multiplicative log-normal noise to model real measurement error (the
+paper attributes residual unfilled bubbles to exactly this mismatch,
+§6.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..cluster.topology import ClusterSpec
+from ..errors import ConfigurationError
+from ..models.graph import ModelSpec
+from ..models.zoo.calibration import (
+    layer_backward_time_ms,
+    layer_forward_time_ms,
+)
+from .records import LayerProfile, ProfileDB
+
+#: Default batch-size grid.  Covers the paper's micro-batch range and the
+#: partial-batch candidates {4, 8, 12, 16, 24, 32, 48, 64, 96} exactly, so
+#: most queries are exact rather than interpolated.
+DEFAULT_BATCH_GRID: tuple[float, ...] = (1, 2, 4, 8, 12, 16, 24, 32, 48, 64, 96, 128)
+
+#: Measurement repetitions per (layer, batch) point, used for the
+#: §6.4 profiling wall-time estimate.
+DEFAULT_REPETITIONS = 3
+
+
+@dataclass(frozen=True)
+class ProfilingReport:
+    """Summary of one profiling run, for the §6.4 overhead experiment."""
+
+    num_layers: int
+    num_batch_sizes: int
+    repetitions: int
+    measurements: int
+    wall_time_ms: float
+
+
+class Profiler:
+    """Profiles a :class:`ModelSpec` on a cluster.
+
+    Parameters
+    ----------
+    cluster:
+        The cluster whose device model defines layer times.
+    batch_sizes:
+        The measurement grid.
+    noise_std:
+        Standard deviation of multiplicative log-normal noise applied to
+        each measurement (0 disables noise; ~0.02 models realistic
+        run-to-run jitter).
+    seed:
+        RNG seed for the noise.
+    """
+
+    def __init__(
+        self,
+        cluster: ClusterSpec,
+        batch_sizes: tuple[float, ...] = DEFAULT_BATCH_GRID,
+        noise_std: float = 0.0,
+        seed: int = 0,
+    ):
+        if not batch_sizes:
+            raise ConfigurationError("batch_sizes must be non-empty")
+        if any(b <= 0 for b in batch_sizes):
+            raise ConfigurationError("batch sizes must be positive")
+        if noise_std < 0:
+            raise ConfigurationError("noise_std must be non-negative")
+        self.cluster = cluster
+        self.batch_sizes = tuple(sorted(set(float(b) for b in batch_sizes)))
+        self.noise_std = float(noise_std)
+        self._rng = np.random.default_rng(seed)
+
+    # -- measurement -----------------------------------------------------------
+
+    def _noise(self) -> float:
+        if self.noise_std == 0.0:
+            return 1.0
+        return float(np.exp(self._rng.normal(0.0, self.noise_std)))
+
+    def profile(self, model: ModelSpec) -> ProfileDB:
+        """Measure every layer of every component at every grid point."""
+        device = self.cluster.device_spec
+        profiles: list[LayerProfile] = []
+        for comp in model.components.values():
+            for idx, layer in enumerate(comp.layers):
+                fwd = []
+                bwd = []
+                for b in self.batch_sizes:
+                    fwd.append(layer_forward_time_ms(layer, b, device) * self._noise())
+                    if layer.trainable:
+                        bwd.append(
+                            layer_backward_time_ms(layer, b, device) * self._noise()
+                        )
+                    else:
+                        bwd.append(0.0)
+                assert layer.activation_bytes_per_sample is not None
+                profiles.append(
+                    LayerProfile(
+                        component=comp.name,
+                        layer_index=idx,
+                        layer_name=layer.name,
+                        batches=self.batch_sizes,
+                        fwd_ms=tuple(fwd),
+                        bwd_ms=tuple(bwd),
+                        param_bytes=layer.param_bytes,
+                        grad_bytes=layer.grad_bytes,
+                        output_bytes_per_sample=layer.output_bytes_per_sample,
+                        activation_bytes_per_sample=layer.activation_bytes_per_sample,
+                        trainable=layer.trainable,
+                    )
+                )
+        return ProfileDB(profiles)
+
+    # -- overhead accounting (§6.4) ----------------------------------------------
+
+    def report(self, model: ModelSpec, repetitions: int = DEFAULT_REPETITIONS) -> ProfilingReport:
+        """Estimate the wall-clock cost of a profiling run.
+
+        Profiling runs in parallel on all devices (§6.4): each
+        (layer, batch, repetition) measurement costs its own execution
+        time, and measurements are distributed across the world.  The
+        paper reports ~55 s for Stable Diffusion v2.1 on 16 GPUs at
+        batch size 512.
+        """
+        if repetitions <= 0:
+            raise ConfigurationError("repetitions must be positive")
+        device = self.cluster.device_spec
+        total_ms = 0.0
+        num_layers = 0
+        for comp in model.components.values():
+            for layer in comp.layers:
+                num_layers += 1
+                for b in self.batch_sizes:
+                    t = layer_forward_time_ms(layer, b, device)
+                    if layer.trainable:
+                        t += layer_backward_time_ms(layer, b, device)
+                    total_ms += t * repetitions
+        measurements = num_layers * len(self.batch_sizes) * repetitions
+        # Parallel over all devices, plus a fixed per-measurement harness
+        # cost (CUDA sync, timer) of ~1 ms.
+        wall = (total_ms + measurements * 1.0) / self.cluster.world_size
+        return ProfilingReport(
+            num_layers=num_layers,
+            num_batch_sizes=len(self.batch_sizes),
+            repetitions=repetitions,
+            measurements=measurements,
+            wall_time_ms=wall,
+        )

@@ -1,0 +1,271 @@
+"""Profile records and the profile database.
+
+The front-end's algorithms (partitioning, bubble filling) are driven
+entirely by a :class:`ProfileDB`: per-layer forward/backward times on a
+grid of batch sizes plus static sizes (parameters, gradients, outputs).
+Between grid points, times are piecewise-linear in the batch size —
+layer execution time is near-affine in batch size on real accelerators
+(paper Fig. 6), so linear interpolation is both accurate and monotone.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Mapping, Sequence
+
+from ..errors import ProfileError
+
+
+@dataclass(frozen=True)
+class LayerProfile:
+    """Measured profile of one layer.
+
+    ``batches``, ``fwd_ms`` and ``bwd_ms`` are parallel arrays sorted by
+    batch size.  Sizes are per-sample for activations/outputs and total
+    for parameters/gradients.
+    """
+
+    component: str
+    layer_index: int
+    layer_name: str
+    batches: tuple[float, ...]
+    fwd_ms: tuple[float, ...]
+    bwd_ms: tuple[float, ...]
+    param_bytes: float
+    grad_bytes: float
+    output_bytes_per_sample: float
+    activation_bytes_per_sample: float
+    trainable: bool
+
+    def __post_init__(self) -> None:
+        if not self.batches:
+            raise ProfileError(
+                f"{self.component}[{self.layer_index}]: empty batch grid"
+            )
+        if not (len(self.batches) == len(self.fwd_ms) == len(self.bwd_ms)):
+            raise ProfileError(
+                f"{self.component}[{self.layer_index}]: ragged profile arrays"
+            )
+        if list(self.batches) != sorted(set(self.batches)):
+            raise ProfileError(
+                f"{self.component}[{self.layer_index}]: batch grid must be "
+                "strictly increasing"
+            )
+        if any(t < 0 for t in self.fwd_ms) or any(t < 0 for t in self.bwd_ms):
+            raise ProfileError(
+                f"{self.component}[{self.layer_index}]: negative times"
+            )
+
+    def _interp(self, values: Sequence[float], batch: float) -> float:
+        """Piecewise-linear interpolation with linear extrapolation."""
+        if batch <= 0:
+            raise ProfileError(
+                f"{self.component}[{self.layer_index}]: batch must be positive, "
+                f"got {batch}"
+            )
+        xs = self.batches
+        if len(xs) == 1:
+            # Single point: scale proportionally through the origin.
+            return values[0] * batch / xs[0]
+        i = bisect.bisect_left(xs, batch)
+        if i < len(xs) and xs[i] == batch:
+            return values[i]
+        # Pick the segment; clamp to the outermost segments for
+        # extrapolation on either side.
+        j = min(max(i, 1), len(xs) - 1)
+        x0, x1 = xs[j - 1], xs[j]
+        y0, y1 = values[j - 1], values[j]
+        t = y0 + (y1 - y0) * (batch - x0) / (x1 - x0)
+        return max(t, 0.0)
+
+    def forward_ms(self, batch: float) -> float:
+        """Forward time at a batch size (interpolated)."""
+        return self._interp(self.fwd_ms, batch)
+
+    def backward_ms(self, batch: float) -> float:
+        """Backward time at a batch size (0 for frozen layers)."""
+        if not self.trainable:
+            return 0.0
+        return self._interp(self.bwd_ms, batch)
+
+    def train_ms(self, batch: float) -> float:
+        """Forward + backward time at a batch size."""
+        return self.forward_ms(batch) + self.backward_ms(batch)
+
+    def output_bytes(self, batch: float) -> float:
+        """Output activation size at a batch size."""
+        return self.output_bytes_per_sample * batch
+
+
+class ProfileDB:
+    """All layer profiles of a model, with aggregate queries.
+
+    The canonical producer is :class:`repro.profiling.Profiler`; tests
+    construct one directly via :meth:`from_layer_times`.
+    """
+
+    def __init__(self, profiles: Iterable[LayerProfile]):
+        self._by_key: dict[tuple[str, int], LayerProfile] = {}
+        self._component_sizes: dict[str, int] = {}
+        for p in profiles:
+            key = (p.component, p.layer_index)
+            if key in self._by_key:
+                raise ProfileError(f"duplicate profile for {key}")
+            self._by_key[key] = p
+            cur = self._component_sizes.get(p.component, 0)
+            self._component_sizes[p.component] = max(cur, p.layer_index + 1)
+        for comp, n in self._component_sizes.items():
+            for i in range(n):
+                if (comp, i) not in self._by_key:
+                    raise ProfileError(
+                        f"component {comp}: missing profile for layer {i}"
+                    )
+
+    # -- lookups -------------------------------------------------------------
+
+    def components(self) -> list[str]:
+        """Profiled component names."""
+        return sorted(self._component_sizes)
+
+    def num_layers(self, component: str) -> int:
+        """Number of profiled layers of a component."""
+        self._check_component(component)
+        return self._component_sizes[component]
+
+    def layer(self, component: str, index: int) -> LayerProfile:
+        """The profile of one layer."""
+        key = (component, index)
+        if key not in self._by_key:
+            self._check_component(component)
+            raise ProfileError(
+                f"component {component}: no layer {index} "
+                f"(has {self._component_sizes[component]})"
+            )
+        return self._by_key[key]
+
+    def layers(self, component: str) -> list[LayerProfile]:
+        """All layer profiles of a component, in order."""
+        return [
+            self.layer(component, i) for i in range(self.num_layers(component))
+        ]
+
+    # -- per-layer convenience -------------------------------------------------
+
+    def fwd_ms(self, component: str, index: int, batch: float) -> float:
+        """Forward time of layer ``index`` at a batch size."""
+        return self.layer(component, index).forward_ms(batch)
+
+    def bwd_ms(self, component: str, index: int, batch: float) -> float:
+        """Backward time of layer ``index`` at a batch size."""
+        return self.layer(component, index).backward_ms(batch)
+
+    # -- stage aggregates (contiguous layer ranges) ------------------------------
+
+    def stage_fwd_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
+        """Sum of forward times of layers ``[lo, hi)``."""
+        self._check_range(component, lo, hi)
+        return sum(self.fwd_ms(component, i, batch) for i in range(lo, hi))
+
+    def stage_bwd_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
+        """Sum of backward times of layers ``[lo, hi)``."""
+        self._check_range(component, lo, hi)
+        return sum(self.bwd_ms(component, i, batch) for i in range(lo, hi))
+
+    def stage_train_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
+        """Sum of forward+backward times of layers ``[lo, hi)``."""
+        return self.stage_fwd_ms(component, lo, hi, batch) + self.stage_bwd_ms(
+            component, lo, hi, batch
+        )
+
+    def stage_param_bytes(self, component: str, lo: int, hi: int) -> float:
+        """Parameter bytes of layers ``[lo, hi)``."""
+        self._check_range(component, lo, hi)
+        return sum(self.layer(component, i).param_bytes for i in range(lo, hi))
+
+    def stage_grad_bytes(self, component: str, lo: int, hi: int) -> float:
+        """Gradient bytes of layers ``[lo, hi)`` (the ``G`` of Eqn. 4)."""
+        self._check_range(component, lo, hi)
+        return sum(self.layer(component, i).grad_bytes for i in range(lo, hi))
+
+    def boundary_bytes(self, component: str, index: int, batch: float) -> float:
+        """Activation bytes crossing the cut after layer ``index``
+        (the ``C_{l,l+1}`` of Eqn. 3)."""
+        return self.layer(component, index).output_bytes(batch)
+
+    def component_fwd_ms(self, component: str, batch: float) -> float:
+        """Total forward time of a component."""
+        return self.stage_fwd_ms(component, 0, self.num_layers(component), batch)
+
+    def component_train_ms(self, component: str, batch: float) -> float:
+        """Total forward+backward time of a component."""
+        n = self.num_layers(component)
+        return self.stage_train_ms(component, 0, n, batch)
+
+    # -- construction helpers ----------------------------------------------------
+
+    @classmethod
+    def from_layer_times(
+        cls,
+        times: Mapping[str, Sequence[tuple[float, float]]],
+        *,
+        batches: Sequence[float] = (1.0,),
+        param_bytes: float = 1e6,
+        output_bytes_per_sample: float = 1e4,
+        trainable: Mapping[str, bool] | None = None,
+        scale_with_batch: bool = True,
+    ) -> "ProfileDB":
+        """Build a synthetic DB from explicit per-layer (fwd, bwd) times.
+
+        ``times[name]`` is a list of (fwd_ms, bwd_ms) pairs, one per
+        layer, interpreted as the times at batch size ``batches[-1]``.
+        When ``scale_with_batch`` is true, other grid points scale
+        linearly with batch size; otherwise times are batch-independent.
+        """
+        trainable = trainable or {}
+        profiles = []
+        ref = batches[-1]
+        for comp, layer_times in times.items():
+            comp_trainable = trainable.get(
+                comp, any(b > 0 for _, b in layer_times)
+            )
+            for idx, (f, b) in enumerate(layer_times):
+                if scale_with_batch:
+                    fwd = tuple(f * bb / ref for bb in batches)
+                    bwd = tuple(b * bb / ref for bb in batches)
+                else:
+                    fwd = tuple(f for _ in batches)
+                    bwd = tuple(b for _ in batches)
+                profiles.append(
+                    LayerProfile(
+                        component=comp,
+                        layer_index=idx,
+                        layer_name=f"{comp}_l{idx}",
+                        batches=tuple(batches),
+                        fwd_ms=fwd,
+                        bwd_ms=bwd,
+                        param_bytes=param_bytes,
+                        grad_bytes=param_bytes if comp_trainable else 0.0,
+                        output_bytes_per_sample=output_bytes_per_sample,
+                        activation_bytes_per_sample=output_bytes_per_sample,
+                        trainable=comp_trainable,
+                    )
+                )
+        return cls(profiles)
+
+    # -- validation ---------------------------------------------------------------
+
+    def _check_component(self, component: str) -> None:
+        if component not in self._component_sizes:
+            raise ProfileError(
+                f"unknown component {component!r}; "
+                f"profiled: {self.components()}"
+            )
+
+    def _check_range(self, component: str, lo: int, hi: int) -> None:
+        n = self.num_layers(component)
+        if not (0 <= lo <= hi <= n):
+            raise ProfileError(
+                f"component {component}: invalid layer range [{lo}, {hi}) "
+                f"of {n} layers"
+            )

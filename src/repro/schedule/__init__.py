@@ -1,0 +1,37 @@
+"""Pipeline schedules: task graphs, builders and the event simulator."""
+
+from .bidirectional import BIDIRECTIONAL_COMM_SCALE, build_bidirectional
+from .gpipe import build_gpipe
+from .onef1b import build_1f1b
+from .simulator import simulate
+from .stages import StageExec, validate_stages
+from .tasks import (
+    COMPUTE_KINDS,
+    Task,
+    TaskKind,
+    device_resource,
+    link_resource,
+    sync_resource,
+    validate_task_graph,
+)
+from .timeline import IdleSpan, Interval, Timeline
+
+__all__ = [
+    "BIDIRECTIONAL_COMM_SCALE",
+    "build_bidirectional",
+    "build_gpipe",
+    "build_1f1b",
+    "simulate",
+    "StageExec",
+    "validate_stages",
+    "COMPUTE_KINDS",
+    "Task",
+    "TaskKind",
+    "device_resource",
+    "link_resource",
+    "sync_resource",
+    "validate_task_graph",
+    "IdleSpan",
+    "Interval",
+    "Timeline",
+]

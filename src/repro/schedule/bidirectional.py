@@ -1,0 +1,74 @@
+"""Bidirectional (Chimera-style) schedule builder for cascaded models.
+
+Two backbones pipeline over the *same* device chain in opposite
+directions (§4.2, Fig. 3): the "down" backbone's stage ``s`` runs on
+device ``s`` while the "up" backbone's stage ``s`` runs on device
+``S - 1 - s``.  Each backbone runs its own FIFO-1F1B schedule; the
+device's dispatch interleaves them, and each pipeline's micro-batches
+slot into the other's bubbles.
+
+Communication durations are doubled relative to the unidirectional case
+because the two pipelines compete for link resources (the paper's
+factor-2 enlargement, §4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..errors import ConfigurationError
+from .onef1b import build_1f1b
+from .stages import StageExec, validate_stages
+from .tasks import Task
+
+#: the paper enlarges communication time by 2x for bidirectional pipelines
+BIDIRECTIONAL_COMM_SCALE = 2.0
+
+
+def build_bidirectional(
+    stages_down: Sequence[StageExec],
+    stages_up: Sequence[StageExec],
+    num_micro_batches_down: int,
+    num_micro_batches_up: int,
+    *,
+    self_conditioning: bool = False,
+    feedback_ms: float = 0.0,
+    comm_scale: float = BIDIRECTIONAL_COMM_SCALE,
+    sync_on_device: bool = False,
+) -> list[Task]:
+    """Build the combined task graph of a two-backbone bidirectional pipeline.
+
+    Both stage chains must have the same length (they share the device
+    chain).  Devices are numbered 0..S-1; the down pipeline maps stage
+    ``s`` to device ``s``, the up pipeline maps stage ``s`` to device
+    ``S - 1 - s``.
+    """
+    down = validate_stages(stages_down)
+    up = validate_stages(stages_up)
+    if len(down) != len(up):
+        raise ConfigurationError(
+            f"bidirectional pipelines need equal stage counts "
+            f"(got {len(down)} and {len(up)})"
+        )
+    S = len(down)
+    tasks = build_1f1b(
+        down,
+        num_micro_batches_down,
+        self_conditioning=self_conditioning,
+        feedback_ms=feedback_ms,
+        id_prefix="dn/",
+        device_order=list(range(S)),
+        comm_scale=comm_scale,
+        sync_on_device=sync_on_device,
+    )
+    tasks += build_1f1b(
+        up,
+        num_micro_batches_up,
+        self_conditioning=self_conditioning,
+        feedback_ms=feedback_ms,
+        id_prefix="up/",
+        device_order=list(range(S - 1, -1, -1)),
+        comm_scale=comm_scale,
+        sync_on_device=sync_on_device,
+    )
+    return tasks

@@ -1,0 +1,78 @@
+"""Stage execution descriptions: the interface between partitioning and
+schedule building.
+
+A :class:`StageExec` captures everything the schedule builders need to
+know about one pipeline stage: its per-micro-batch forward/backward
+times (at the stage's *local* batch size, i.e. micro-batch divided by
+the stage's replication factor), inter-stage communication times, its
+gradient-synchronisation time and its replication factor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from ..errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class StageExec:
+    """Execution profile of one pipeline stage.
+
+    Parameters
+    ----------
+    index:
+        Stage position in the pipeline (0-based, in pipeline direction).
+    fwd_ms / bwd_ms:
+        Per-micro-batch forward/backward compute time.
+    sc_fwd_ms:
+        Self-conditioning forward time (defaults to ``fwd_ms``).
+    send_fwd_ms:
+        Time to ship this stage's activations to the next stage.
+    send_bwd_ms:
+        Time to ship this stage's input-gradients to the previous stage.
+    sync_ms:
+        Gradient all-reduce time of this stage at pipeline flush.
+    replicas:
+        Number of physical devices this (logical) stage replicates on.
+    layer_range:
+        The (component, lo, hi) layer slice this stage runs, if known.
+    """
+
+    index: int
+    fwd_ms: float
+    bwd_ms: float
+    sc_fwd_ms: float | None = None
+    send_fwd_ms: float = 0.0
+    send_bwd_ms: float = 0.0
+    sync_ms: float = 0.0
+    replicas: int = 1
+    layer_range: tuple[str, int, int] | None = None
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ConfigurationError("stage index must be non-negative")
+        for name in ("fwd_ms", "bwd_ms", "send_fwd_ms", "send_bwd_ms", "sync_ms"):
+            if getattr(self, name) < 0:
+                raise ConfigurationError(f"stage {self.index}: negative {name}")
+        if self.replicas <= 0:
+            raise ConfigurationError(f"stage {self.index}: replicas must be >= 1")
+        if self.sc_fwd_ms is None:
+            object.__setattr__(self, "sc_fwd_ms", self.fwd_ms)
+        elif self.sc_fwd_ms < 0:
+            raise ConfigurationError(f"stage {self.index}: negative sc_fwd_ms")
+
+
+def validate_stages(stages: Sequence[StageExec]) -> list[StageExec]:
+    """Check a stage chain is contiguous and well-formed."""
+    stages = list(stages)
+    if not stages:
+        raise ConfigurationError("empty stage list")
+    for i, s in enumerate(stages):
+        if s.index != i:
+            raise ConfigurationError(
+                f"stage at position {i} has index {s.index}; stages must be "
+                "listed in pipeline order with contiguous indices"
+            )
+    return stages

@@ -1,0 +1,46 @@
+"""Chimera baseline tests."""
+
+import pytest
+
+from repro.baselines import ChimeraBaseline, ChimeraConfig, GPipeBaseline
+from repro.errors import ConfigurationError
+from repro.models.zoo import cascaded_model
+
+
+def test_chimera_runs(cluster8, uniform, uniform_profile):
+    ch = ChimeraBaseline(uniform, cluster8, uniform_profile)
+    res = ch.run(64)
+    assert not res.oom
+    assert res.throughput > 0
+    assert res.name == "Chimera"
+    assert "S=2" in res.notes[0]
+
+
+def test_chimera_bubble_ratio_below_unidirectional(
+    cluster8, uniform, uniform_profile
+):
+    """Bidirectional pipelining reduces bubbles vs GPipe's schedule."""
+    ch = ChimeraBaseline(
+        uniform, cluster8, uniform_profile, ChimeraConfig(2, 2)
+    )
+    gp = GPipeBaseline(uniform, cluster8, uniform_profile)
+    assert ch.bubble_ratio(64) < gp.bubble_ratio(64)
+
+
+def test_chimera_memory_doubles_stage_states(cluster8, uniform, uniform_profile):
+    """Each device hosts stages of both directions."""
+    ch = ChimeraBaseline(uniform, cluster8, uniform_profile)
+    res = ch.run(64)
+    gp = GPipeBaseline(uniform, cluster8, uniform_profile).run(64)
+    assert res.memory.peak_bytes > gp.memory.peak_bytes
+
+
+def test_chimera_rejects_cdm(cluster8, cascaded, cascaded_profile):
+    with pytest.raises(ConfigurationError):
+        ChimeraBaseline(cascaded, cluster8, cascaded_profile)
+
+
+def test_chimera_batch_validation(cluster8, uniform, uniform_profile):
+    ch = ChimeraBaseline(uniform, cluster8, uniform_profile)
+    with pytest.raises(ConfigurationError):
+        ch.run(63)

@@ -1,0 +1,63 @@
+"""CLI tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def test_models_command(capsys):
+    assert main(["models"]) == 0
+    out = capsys.readouterr().out
+    assert "stable-diffusion-v2.1" in out
+    assert "cdm-lsun" in out
+    assert "dit-xl-pixart" in out
+
+
+def test_plan_command(capsys, tmp_path):
+    plan_path = tmp_path / "plan.json"
+    trace_path = tmp_path / "trace.json"
+    rc = main([
+        "plan", "--model", "sd", "--gpus", "8", "--batch", "256",
+        "--out", str(plan_path), "--trace", str(trace_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "bubble ratio" in out
+    plan = json.loads(plan_path.read_text())
+    assert plan["model_name"] == "stable-diffusion-v2.1"
+    trace = json.loads(trace_path.read_text())
+    assert trace["traceEvents"]
+
+
+def test_sweep_command(capsys):
+    rc = main([
+        "sweep", "--model", "controlnet", "--gpus", "8",
+        "--batches", "64", "128",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "DiffusionPipe" in out
+    assert "GPipe" in out
+    assert "DeepSpeed" in out
+
+
+def test_table_commands(capsys):
+    assert main(["table1"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 1" in out
+    assert main(["table2"]) == 0
+    out = capsys.readouterr().out
+    assert "Table 2" in out
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(SystemExit):
+        main(["plan", "--model", "gpt5"])
+
+
+def test_bad_gpu_count():
+    with pytest.raises(SystemExit):
+        main(["plan", "--model", "sd", "--gpus", "12"])

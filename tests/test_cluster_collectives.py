@@ -1,0 +1,113 @@
+"""Collective cost-model tests."""
+
+import pytest
+
+from repro.cluster import CollectiveModel, p4de_cluster, single_node
+from repro.errors import ConfigurationError
+
+#: disable the Table-2 calibration for clean alpha-beta arithmetic
+NO_CAL = dict(inter_node_efficiency={1: 1.0}, ring_fixed_overhead_ms={1: 0.0})
+
+
+def test_allreduce_single_device_free():
+    coll = CollectiveModel(single_node(8), **NO_CAL)
+    assert coll.allreduce([0], 1e9) == 0.0
+
+
+def test_allreduce_ring_formula():
+    c = single_node(8)
+    coll = CollectiveModel(c, **NO_CAL)
+    n, size = 8, 1e9
+    link = c.intra_link
+    expected = 2 * (n - 1) * link.latency + 2 * (n - 1) / n * size / link.bandwidth
+    assert coll.allreduce(list(range(8)), size) == pytest.approx(expected)
+
+
+def test_allgather_is_half_allreduce_traffic():
+    coll = CollectiveModel(single_node(8), **NO_CAL)
+    ranks = list(range(8))
+    ar = coll.allreduce(ranks, 1e9)
+    ag = coll.allgather(ranks, 1e9)
+    # Ring all-gather moves half the bytes and half the latency hops.
+    assert ag == pytest.approx(ar / 2)
+    assert coll.reduce_scatter(ranks, 1e9) == ag
+
+
+def test_broadcast():
+    c = single_node(4)
+    coll = CollectiveModel(c, **NO_CAL)
+    t = coll.broadcast(list(range(4)), 600e6)
+    assert t == pytest.approx(3 * c.intra_link.latency + 1.0)
+    assert coll.broadcast([0], 1e9) == 0.0
+
+
+def test_inter_node_efficiency_applies():
+    c = p4de_cluster(2)
+    fast = CollectiveModel(c, inter_node_efficiency={1: 1.0},
+                           ring_fixed_overhead_ms={1: 0.0})
+    slow = CollectiveModel(c, inter_node_efficiency={1: 1.0, 2: 0.5},
+                           ring_fixed_overhead_ms={1: 0.0})
+    ranks = list(range(16))
+    assert slow.allreduce(ranks, 1e9) > fast.allreduce(ranks, 1e9)
+    # Intra-node groups are unaffected by the inter-node curve.
+    assert slow.allreduce(list(range(8)), 1e9) == pytest.approx(
+        fast.allreduce(list(range(8)), 1e9)
+    )
+
+
+def test_fixed_overhead_applies_per_call():
+    c = single_node(8)
+    coll = CollectiveModel(c, inter_node_efficiency={1: 1.0},
+                           ring_fixed_overhead_ms={1: 28.0})
+    base = CollectiveModel(c, **NO_CAL)
+    ranks = list(range(8))
+    assert coll.allreduce(ranks, 1e6) == pytest.approx(
+        base.allreduce(ranks, 1e6) + 28.0
+    )
+    assert coll.allgather(ranks, 1e6) == pytest.approx(
+        base.allgather(ranks, 1e6) + 28.0
+    )
+
+
+def test_efficiency_interpolation():
+    c = p4de_cluster(8)
+    coll = CollectiveModel(c)
+    # 3 machines interpolates between the 2- and 4-machine anchors.
+    t2 = coll.allreduce(list(range(16)), 1e9)
+    t3 = coll.allreduce(list(range(24)), 1e9)
+    t4 = coll.allreduce(list(range(32)), 1e9)
+    assert t2 < t3 < t4
+
+
+def test_allreduce_costs_consistency():
+    """allreduce(size) == size / R_ar + L_ar exactly (the DP's form)."""
+    c = p4de_cluster(2)
+    coll = CollectiveModel(c)
+    ranks = list(range(16))
+    costs = coll.allreduce_costs(ranks)
+    for size in (1e6, 1e8, 2e9):
+        assert coll.allreduce(ranks, size) == pytest.approx(
+            size / costs.bandwidth + costs.latency
+        )
+    single = coll.allreduce_costs([3])
+    assert single.bandwidth == float("inf")
+    assert single.latency == 0.0
+
+
+def test_p2p_costs():
+    c = p4de_cluster(2)
+    coll = CollectiveModel(c)
+    intra = coll.p2p_costs(0, 1)
+    inter = coll.p2p_costs(0, 8)
+    assert intra.bandwidth > inter.bandwidth
+    assert coll.p2p(0, 1, 6e8) == pytest.approx(
+        6e8 / intra.bandwidth + intra.latency
+    )
+
+
+def test_group_validation():
+    coll = CollectiveModel(single_node(4))
+    with pytest.raises(ConfigurationError):
+        coll.allreduce([], 1e6)
+    with pytest.raises(ConfigurationError):
+        coll.allreduce([0, 1], -1)

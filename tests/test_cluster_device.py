@@ -1,0 +1,68 @@
+"""Device model tests."""
+
+import pytest
+
+from repro.cluster import DeviceSpec, a100_40gb, a100_80gb, v100_32gb
+from repro.cluster.device import Device
+from repro.errors import ConfigurationError
+
+
+def test_default_a100():
+    dev = a100_80gb()
+    assert dev.name == "A100-80GB"
+    assert dev.memory_bytes == 80e9
+
+
+def test_variants():
+    assert a100_40gb().memory_bytes == 40e9
+    v = v100_32gb()
+    assert v.memory_bytes == 32e9
+    assert v.peak_flops_per_ms < a100_80gb().peak_flops_per_ms
+
+
+def test_utilisation_monotone():
+    dev = a100_80gb()
+    utils = [dev.utilisation(b) for b in (1, 2, 4, 8, 16, 32, 64, 128)]
+    assert utils == sorted(utils)
+    assert utils[-1] < dev.max_utilisation
+    assert dev.utilisation(0) == 0.0
+
+
+def test_utilisation_saturates():
+    dev = a100_80gb()
+    assert dev.utilisation(1e9) == pytest.approx(dev.max_utilisation, rel=1e-6)
+
+
+def test_compute_time_includes_overhead():
+    dev = a100_80gb()
+    assert dev.compute_time_ms(0.0, 8) == dev.kernel_overhead_ms
+    t1 = dev.compute_time_ms(1e12, 8)
+    t2 = dev.compute_time_ms(2e12, 8)
+    # Twice the FLOPs is twice the compute part (same overhead).
+    assert t2 - t1 == pytest.approx(t1 - dev.kernel_overhead_ms, rel=1e-9)
+
+
+def test_compute_time_batch_effect():
+    dev = a100_80gb()
+    # Same total FLOPs executes faster at higher utilisation (bigger batch).
+    assert dev.compute_time_ms(1e12, 64) < dev.compute_time_ms(1e12, 4)
+
+
+def test_invalid_device_specs():
+    with pytest.raises(ConfigurationError):
+        DeviceSpec(peak_flops_per_ms=0)
+    with pytest.raises(ConfigurationError):
+        DeviceSpec(memory_bytes=-1)
+    with pytest.raises(ConfigurationError):
+        DeviceSpec(max_utilisation=1.5)
+    with pytest.raises(ConfigurationError):
+        a100_80gb().utilisation(-1)
+    with pytest.raises(ConfigurationError):
+        a100_80gb().compute_time_ms(-1, 8)
+
+
+def test_device_instance_validation():
+    with pytest.raises(ConfigurationError):
+        Device(rank=-1, machine=0, local_rank=0)
+    dev = Device(rank=3, machine=0, local_rank=3)
+    assert dev.spec.name == "A100-80GB"

@@ -1,0 +1,77 @@
+"""Cluster topology tests."""
+
+import pytest
+
+from repro.cluster import (
+    EFA_400G,
+    NVSWITCH,
+    ClusterSpec,
+    LinkSpec,
+    p4de_cluster,
+    single_node,
+)
+from repro.errors import ConfigurationError
+
+
+def test_world_size_and_ranking():
+    c = p4de_cluster(2)
+    assert c.world_size == 16
+    assert c.machine_of(0) == 0
+    assert c.machine_of(7) == 0
+    assert c.machine_of(8) == 1
+    d = c.device(9)
+    assert (d.machine, d.local_rank) == (1, 1)
+    assert len(c.devices()) == 16
+
+
+def test_same_machine():
+    c = p4de_cluster(2)
+    assert c.same_machine(0, 7)
+    assert not c.same_machine(7, 8)
+
+
+def test_link_selection():
+    c = p4de_cluster(2)
+    assert c.link(0, 1) is NVSWITCH
+    assert c.link(0, 8) is EFA_400G
+    # Self link has zero latency.
+    self_link = c.link(3, 3)
+    assert self_link.latency == 0.0
+
+
+def test_p2p_time():
+    c = single_node(8)
+    t = c.p2p_time_ms(0, 1, 600e6)  # 600 MB over 600e6 B/ms NVSwitch
+    assert t == pytest.approx(NVSWITCH.latency + 1.0)
+
+
+def test_group_link_bottleneck():
+    c = p4de_cluster(2)
+    assert c.group_link(range(8)) is NVSWITCH
+    assert c.group_link(range(16)) is EFA_400G
+    assert c.spans_machines(range(16))
+    assert not c.spans_machines(range(8))
+
+
+def test_rank_validation():
+    c = single_node(4)
+    with pytest.raises(ConfigurationError):
+        c.device(4)
+    with pytest.raises(ConfigurationError):
+        c.machine_of(-1)
+    with pytest.raises(ConfigurationError):
+        c.group_link([])
+
+
+def test_link_validation():
+    with pytest.raises(ConfigurationError):
+        LinkSpec(bandwidth=0, latency=0)
+    with pytest.raises(ConfigurationError):
+        LinkSpec(bandwidth=1, latency=-1)
+    with pytest.raises(ConfigurationError):
+        NVSWITCH.transfer_time_ms(-5)
+
+
+def test_cluster_validation():
+    with pytest.raises(ConfigurationError):
+        ClusterSpec(num_machines=0)

@@ -1,0 +1,60 @@
+"""In-process channel (NCCL stand-in) tests."""
+
+import numpy as np
+import pytest
+
+from repro.engine import ChannelSet, allreduce_sum
+from repro.errors import EngineError
+
+
+def test_fifo_ordering():
+    ch = ChannelSet()
+    a = np.array([1.0])
+    b = np.array([2.0])
+    ch.send(0, 1, a)
+    ch.send(0, 1, b)
+    assert ch.recv(0, 1)[0] == 1.0
+    assert ch.recv(0, 1)[0] == 2.0
+    assert ch.pending() == 0
+
+
+def test_tags_separate_streams():
+    ch = ChannelSet()
+    ch.send(0, 1, np.array([1.0]), tag="act")
+    ch.send(0, 1, np.array([2.0]), tag="grad")
+    assert ch.recv(0, 1, tag="grad")[0] == 2.0
+    assert ch.recv(0, 1, tag="act")[0] == 1.0
+
+
+def test_recv_empty_raises():
+    ch = ChannelSet()
+    with pytest.raises(EngineError, match="data dependency"):
+        ch.recv(0, 1)
+
+
+def test_send_to_self_rejected():
+    ch = ChannelSet()
+    with pytest.raises(EngineError):
+        ch.send(2, 2, np.zeros(1))
+
+
+def test_accounting():
+    ch = ChannelSet()
+    ch.send(0, 1, np.zeros(10))
+    ch.send(1, 0, np.zeros(5))
+    assert ch.messages_sent == 2
+    assert ch.bytes_sent == 15 * 8
+    assert ch.pending() == 2
+
+
+def test_allreduce_sum_exact():
+    tensors = [np.array([1.0, 2.0]), np.array([3.0, 4.0])]
+    out = allreduce_sum(tensors)
+    assert all(np.array_equal(t, np.array([4.0, 6.0])) for t in out)
+    # Outputs are copies, not views of each other.
+    out[0][0] = 99.0
+    assert out[1][0] == 4.0
+    with pytest.raises(EngineError):
+        allreduce_sum([])
+    with pytest.raises(EngineError):
+        allreduce_sum([np.zeros(2), np.zeros(3)])

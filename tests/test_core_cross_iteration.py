@@ -1,0 +1,68 @@
+"""Cross-iteration composition tests (§3.2)."""
+
+import pytest
+
+from repro.core import FillReport, compose_iteration
+from repro.core.plan import FillItem
+from repro.schedule import StageExec, build_1f1b, simulate
+
+
+def _timeline(S=2, M=2, f=10.0, b=20.0):
+    stages = [StageExec(index=i, fwd_ms=f, bwd_ms=b) for i in range(S)]
+    return simulate(build_1f1b(stages, M), S)
+
+
+def _report(filled=30.0, bubble=60.0, leftover=0.0):
+    return FillReport(
+        items=(FillItem("e", 0, 64, filled, 0),),
+        filled_device_time_ms=filled,
+        bubble_device_time_ms=bubble,
+        leftover_ms=leftover,
+        num_bubbles=1,
+        complete=leftover == 0.0,
+    )
+
+
+def test_unfilled_iteration_is_serial():
+    tl = _timeline()
+    est = compose_iteration(tl, None, nt_total_ms=100.0)
+    assert est.iteration_ms == pytest.approx(tl.makespan + 100.0)
+    assert est.leftover_ms == 100.0
+    assert est.bubble_ratio_filled == est.bubble_ratio_unfilled
+
+
+def test_filled_iteration_hides_nt():
+    tl = _timeline()
+    # The timeline's idle device-time is 60 ms; fill it completely.
+    est = compose_iteration(tl, _report(filled=60.0, leftover=0.0),
+                            nt_total_ms=100.0)
+    assert est.iteration_ms == pytest.approx(tl.makespan)
+    assert est.warmup_extra_ms == 100.0
+    assert est.saved_ms == 100.0
+    assert est.bubble_ratio_filled == 0.0
+    assert est.bubble_ratio_filled < est.bubble_ratio_unfilled
+
+
+def test_leftover_appends_to_iteration():
+    tl = _timeline()
+    est = compose_iteration(tl, _report(leftover=25.0), nt_total_ms=100.0)
+    assert est.iteration_ms == pytest.approx(tl.makespan + 25.0)
+    assert est.saved_ms == pytest.approx(75.0)
+
+
+def test_ratio_accounting_with_devices():
+    tl = _timeline()
+    est2 = compose_iteration(tl, _report(), nt_total_ms=100.0, total_devices=2)
+    est4 = compose_iteration(tl, _report(), nt_total_ms=100.0, total_devices=4)
+    # Same idle time spread over more devices -> smaller ratio.
+    assert est4.bubble_ratio_filled < est2.bubble_ratio_filled
+
+
+def test_fill_report_fraction():
+    rep = _report(filled=30.0, bubble=60.0)
+    assert rep.fill_fraction == pytest.approx(0.5)
+    empty = FillReport(
+        items=(), filled_device_time_ms=0.0, bubble_device_time_ms=0.0,
+        leftover_ms=0.0, num_bubbles=0, complete=True,
+    )
+    assert empty.fill_fraction == 0.0

@@ -1,0 +1,228 @@
+"""Bubble filling tests (§5, Algorithms 1 and 2)."""
+
+import pytest
+
+from repro.core import (
+    Bubble,
+    BubbleFiller,
+    ComponentState,
+    fill_one_bubble,
+    full_batch_candidates,
+    valid_partial_samples,
+)
+from repro.core.filling import apply_fill
+from repro.errors import FillingError
+from repro.models.zoo import long_layer_model, two_encoder_model, uniform_model
+from repro.profiling import ProfileDB
+
+
+def _flat_db(times_by_comp, batches=(1.0, 64.0)):
+    """Batch-INDEPENDENT layer times: simplest algebra for Alg. 1/2."""
+    return ProfileDB.from_layer_times(
+        {k: [(t, 0.0) for t in v] for k, v in times_by_comp.items()},
+        batches=batches,
+        trainable={k: False for k in times_by_comp},
+        scale_with_batch=False,
+    )
+
+
+def _state(name, db, batch=64.0):
+    return ComponentState(name=name, num_layers=db.num_layers(name), batch=batch)
+
+
+def _bubble(duration, weight=1, start=0.0, devices=None):
+    devices = devices or tuple(range(weight))
+    return Bubble(start=start, end=start + duration, devices=devices, weight=weight)
+
+
+# -- Algorithm 2 (FFC) ------------------------------------------------------------
+
+
+def test_ffc_single_component_prefixes():
+    db = _flat_db({"e": [3.0, 3.0, 3.0, 3.0]})
+    cands = full_batch_candidates(db, [_state("e", db)], bubble_ms=7.0, idle_devices=1)
+    # k0 = 2 (3+3 <= 7 < 9); candidates k in {2, 1, 0}.
+    counts = sorted(c.counts for c in cands)
+    assert counts == [(0,), (1,), (2,)]
+    times = {c.counts: c.time_ms for c in cands}
+    assert times[(2,)] == pytest.approx(6.0)
+
+
+def test_ffc_two_components_cross_product():
+    db = _flat_db({"a": [2.0, 2.0], "b": [3.0]})
+    states = [_state("a", db), _state("b", db)]
+    cands = full_batch_candidates(db, states, bubble_ms=5.0, idle_devices=1)
+    combos = {c.counts for c in cands}
+    # All combinations with total time <= 5: (2,0),(1,1),(1,0),(0,1),(0,0).
+    assert combos == {(2, 0), (1, 1), (1, 0), (0, 1), (0, 0)}
+
+
+def test_ffc_respects_head_remaining_batch():
+    """The head layer of a partially-processed component runs on the
+    remaining samples: at batch-linear times, half the samples = half
+    the time."""
+    db = ProfileDB.from_layer_times(
+        {"e": [(8.0, 0.0), (8.0, 0.0)]},
+        batches=(1.0, 64.0),
+        trainable={"e": False},
+        scale_with_batch=True,
+    )
+    st = _state("e", db)
+    st.remaining = 32.0  # half of the 64-sample batch still pending
+    cands = full_batch_candidates(db, [st], bubble_ms=5.0, idle_devices=1)
+    times = {c.counts: c.time_ms for c in cands}
+    # Head at 32 samples costs ~4 ms -> fits; the next (full) layer wouldn't.
+    assert times[(1,)] == pytest.approx(4.0, rel=0.05)
+
+
+def test_ffc_zero_bubble():
+    db = _flat_db({"e": [3.0]})
+    cands = full_batch_candidates(db, [_state("e", db)], 0.0, 1)
+    assert {c.counts for c in cands} == {(0,)}
+    with pytest.raises(FillingError):
+        full_batch_candidates(db, [_state("e", db)], -1.0, 1)
+    with pytest.raises(FillingError):
+        full_batch_candidates(db, [_state("e", db)], 5.0, 0)
+
+
+# -- getValidNumSamples ---------------------------------------------------------------
+
+
+def test_valid_partial_samples_menu():
+    # d=2 idle devices, full batch 64: totals are menu * 2 capped at 64.
+    samples = valid_partial_samples(batch=64, idle_devices=2, remaining=64)
+    assert samples == [8.0, 16.0, 24.0, 32.0, 48.0, 64.0]
+    # Remaining limits the choice.
+    assert valid_partial_samples(64, 2, remaining=20) == [8.0, 16.0]
+    # Nothing fits when remaining is tiny.
+    assert valid_partial_samples(64, 2, remaining=4) == []
+
+
+# -- Algorithm 1 ------------------------------------------------------------------
+
+
+def test_fill_one_bubble_prefers_longest():
+    db = _flat_db({"a": [4.0, 4.0, 4.0]})
+    fill = fill_one_bubble(db, [_state("a", db)], _bubble(9.0), 0,
+                           enable_partial_batch=False)
+    assert len(fill.items) == 2
+    assert fill.time_ms == pytest.approx(8.0)
+
+
+def test_fill_one_bubble_adds_partial_layer():
+    """A long head layer that doesn't fit whole gets a partial batch."""
+    db = ProfileDB.from_layer_times(
+        {"a": [(64.0, 0.0)]},  # 64 ms at batch 64 -> 1 ms per sample
+        batches=(1.0, 64.0),
+        trainable={"a": False},
+    )
+    fill = fill_one_bubble(db, [_state("a", db)], _bubble(17.0), 0)
+    assert len(fill.items) == 1
+    item = fill.items[0]
+    assert item.partial
+    # Largest menu batch whose time fits 17 ms: 16 samples = ~16 ms.
+    assert item.samples == 16.0
+    assert item.time_ms == pytest.approx(16.0, rel=0.05)
+
+
+def test_fill_one_bubble_partial_disabled():
+    db = ProfileDB.from_layer_times(
+        {"a": [(64.0, 0.0)]}, batches=(1.0, 64.0), trainable={"a": False},
+    )
+    fill = fill_one_bubble(db, [_state("a", db)], _bubble(17.0), 0,
+                           enable_partial_batch=False)
+    assert fill.items == ()
+
+
+def test_apply_fill_advances_states():
+    db = _flat_db({"a": [4.0, 4.0, 4.0]})
+    states = {"a": _state("a", db)}
+    fill = fill_one_bubble(db, [states["a"]], _bubble(9.0), 0,
+                           enable_partial_batch=False)
+    apply_fill(states, fill)
+    assert states["a"].next_layer == 2
+    assert states["a"].remaining == 64.0
+
+
+def test_partial_batch_remainder_scheduling():
+    """After a partial fill, the head layer continues with the leftover
+    samples in the next bubble (Fig. 12)."""
+    db = ProfileDB.from_layer_times(
+        {"a": [(64.0, 0.0)]}, batches=(1.0, 64.0), trainable={"a": False},
+    )
+    states = {"a": _state("a", db)}
+    f0 = fill_one_bubble(db, [states["a"]], _bubble(33.0), 0)
+    apply_fill(states, f0)
+    assert states["a"].next_layer == 0
+    assert states["a"].remaining == 32.0
+    # Second bubble takes the remaining 32 samples as a full-batch layer.
+    f1 = fill_one_bubble(db, [states["a"]], _bubble(40.0), 1)
+    apply_fill(states, f1)
+    assert states["a"].done
+
+
+def test_component_state_validation():
+    st = ComponentState(name="x", num_layers=2, batch=64)
+    with pytest.raises(FillingError):
+        st.consume_full(3)
+    with pytest.raises(FillingError):
+        st.consume_partial(1, 8)   # not the head layer
+    with pytest.raises(FillingError):
+        st.consume_partial(0, 100)  # more than remaining
+    st.consume_partial(0, 64)
+    assert st.next_layer == 1
+
+
+# -- end-to-end BubbleFiller ---------------------------------------------------------
+
+
+def test_filler_respects_dependencies(cluster8, two_encoder, two_encoder_profile):
+    """encoder_b must not run before encoder_a completes."""
+    filler = BubbleFiller(two_encoder_profile, two_encoder, batch=64)
+    ready = filler.ready_components()
+    assert [s.name for s in ready] == ["encoder_a"]
+    # Huge bubbles: everything fits, in dependency order.
+    bubbles = [_bubble(1e4, start=0.0), _bubble(1e4, start=2e4)]
+    report = filler.fill(bubbles, leftover_devices=2)
+    assert report.complete
+    order = [(i.component, i.layer) for i in report.items]
+    a_done = max(k for k, it in enumerate(report.items) if it.component == "encoder_a")
+    b_first = min(k for k, it in enumerate(report.items) if it.component == "encoder_b")
+    assert a_done < b_first
+
+
+def test_filler_leftover_when_bubbles_small(uniform, uniform_profile):
+    filler = BubbleFiller(uniform_profile, uniform, batch=64)
+    report = filler.fill([_bubble(5.0)], leftover_devices=2)
+    assert not report.complete
+    assert report.leftover_ms > 0
+    # Leftover shrinks with more devices.
+    filler2 = BubbleFiller(uniform_profile, uniform, batch=64)
+    report2 = filler2.fill([_bubble(5.0)], leftover_devices=4)
+    assert report2.leftover_ms < report.leftover_ms
+
+
+def test_filler_long_layer_needs_partial(long_layer, long_layer_profile):
+    """The 400 ms layer cannot fit a 100 ms bubble at full batch; with
+    partial batching the filler still makes progress through it."""
+    bubbles = [_bubble(100.0, start=200.0 * i) for i in range(30)]
+    with_partial = BubbleFiller(
+        long_layer_profile, long_layer, batch=64, enable_partial_batch=True
+    ).fill(bubbles, leftover_devices=2)
+    without = BubbleFiller(
+        long_layer_profile, long_layer, batch=64, enable_partial_batch=False
+    ).fill(bubbles, leftover_devices=2)
+    assert with_partial.filled_device_time_ms > without.filled_device_time_ms
+    assert with_partial.leftover_ms < without.leftover_ms
+    # The long layer blocked everything behind it in the no-partial run.
+    filled_layers = {(i.component, i.layer) for i in without.items}
+    long_idx = 5  # long_layer_model puts the 400ms layer at index 5
+    assert all(l <= long_idx for c, l in filled_layers)
+
+
+def test_filler_validation(uniform, uniform_profile):
+    with pytest.raises(FillingError):
+        BubbleFiller(uniform_profile, uniform, batch=0)
+    filler = BubbleFiller(uniform_profile, uniform, batch=64)
+    with pytest.raises(FillingError):
+        filler.leftover_ms(0)

@@ -1,0 +1,161 @@
+"""Single-backbone DP partitioner tests (§4.1, §4.3)."""
+
+import pytest
+
+from repro.cluster import CollectiveModel, CommCosts, single_node
+from repro.core import PartitionContext, StageCosts, partition_backbone
+from repro.core.partition import pareto_insert
+from repro.errors import ConfigurationError, PartitionError
+
+from .conftest import make_synthetic_db
+
+FAST_P2P = CommCosts(bandwidth=6e8, latency=0.005)
+FAST_AR = CommCosts(bandwidth=1e9, latency=0.1)
+
+
+def _ctx(db=None, batch=64.0, M=4, sc=False, p2p=FAST_P2P, ar=FAST_AR):
+    return PartitionContext(
+        profile=db or make_synthetic_db(),
+        component="backbone",
+        batch_per_group=batch,
+        num_micro_batches=M,
+        p2p=p2p,
+        allreduce=ar,
+        self_conditioning=sc,
+    )
+
+
+def test_uniform_backbone_splits_evenly():
+    """8 identical layers into 2/4 stages -> equal layer counts."""
+    for S in (2, 4):
+        plan = partition_backbone(_ctx(), S, S)
+        sizes = [st.num_layers for st in plan.down]
+        assert sizes == [8 // S] * S
+        # Chain is contiguous and covers all layers.
+        assert plan.down[0].lo == 0
+        assert plan.down[-1].hi == 8
+        for a, b in zip(plan.down, plan.down[1:]):
+            assert a.hi == b.lo
+
+
+def test_skewed_backbone_balances_time():
+    """One heavy layer attracts a singleton stage."""
+    db = make_synthetic_db(
+        backbone_times=[(10, 20)] * 3 + [(60, 120)] + [(10, 20)] * 2,
+    )
+    plan = partition_backbone(_ctx(db), 2, 2)
+    heavy_stage = next(st for st in plan.down if st.lo <= 3 < st.hi)
+    # The heavy stage should not also carry most light layers.
+    assert heavy_stage.num_layers <= 3
+
+
+def test_w_value_matches_stage_costs():
+    plan = partition_backbone(_ctx(), 2, 2)
+    ctx = _ctx()
+    costs = StageCosts(ctx, replicas=1)
+    expected_w = max(
+        costs.t0(st.lo, st.hi) for st in plan.down
+    )
+    assert plan.w_ms == pytest.approx(expected_w)
+    # Objective = (M + 2S - 2) W + Y.
+    M, S = 4, 2
+    assert plan.t_max_ms == pytest.approx((M + 2 * S - 2) * plan.w_ms + plan.y_ms)
+
+
+def test_replication_uses_group_devices():
+    plan = partition_backbone(_ctx(), 2, 8)
+    assert all(st.replicas == 4 for st in plan.down)
+    assert plan.group_size == 8
+
+
+def test_micro_batch_size_property():
+    plan = partition_backbone(_ctx(batch=64, M=4), 2, 2)
+    assert plan.micro_batch == 16.0
+
+
+def test_infeasible_cases():
+    with pytest.raises(PartitionError):
+        partition_backbone(_ctx(), 9, 9)      # more stages than layers
+    with pytest.raises(PartitionError):
+        partition_backbone(_ctx(), 3, 2)      # more stages than devices
+    with pytest.raises(PartitionError):
+        partition_backbone(_ctx(), 3, 8)      # 3 does not divide 8
+    with pytest.raises(ConfigurationError):
+        partition_backbone(_ctx(), 0, 2)
+
+
+def test_comm_bound_stage_cost():
+    """With a tiny p2p bandwidth the boundary dominates T0."""
+    slow = CommCosts(bandwidth=1.0, latency=0.0)  # 1 byte/ms
+    ctx = _ctx(p2p=slow)
+    costs = StageCosts(ctx, replicas=1)
+    # Stage [4, 8): receives layer 3's output: 1e4 B/sample * 16 samples.
+    t0 = costs.t0(4, 8)
+    comm = 2 * 1e4 * 16 / 1.0
+    assert t0 == pytest.approx(comm)
+
+
+def test_sync_gap_uses_prefix_backward():
+    ctx = _ctx()
+    costs = StageCosts(ctx, replicas=1)
+    # Stage starting at layer 4: compensation = bwd of layers 0..3 at
+    # local batch 16 -> 4 * 20ms * (16/64).
+    assert costs.compensation_ms(4) == pytest.approx(4 * 20.0 * 16 / 64)
+    assert costs.sync_gap(4, 8) == pytest.approx(
+        costs.sync_ms(4, 8) - costs.compensation_ms(4)
+    )
+    # First stage has zero compensation: fully exposed sync.
+    assert costs.compensation_ms(0) == 0.0
+
+
+def test_self_conditioning_increases_bound():
+    plain = partition_backbone(_ctx(sc=False), 2, 2)
+    sc = partition_backbone(_ctx(sc=True), 2, 2)
+    assert sc.t_max_ms > plain.t_max_ms
+    assert sc.self_conditioning
+
+
+def test_self_conditioning_t0():
+    ctx = _ctx(sc=True)
+    costs = StageCosts(ctx, replicas=1)
+    # 2 * fwd + bwd for the compute branch of Eqn. 17.
+    local = 16
+    fwd = 4 * 10.0 * local / 64
+    bwd = 4 * 20.0 * local / 64
+    assert costs.t0_sc(0, 4) == pytest.approx(2 * fwd + bwd)
+    assert costs.t0(0, 4) == pytest.approx(fwd + bwd)
+
+
+def test_pareto_insert():
+    frontier = []
+    assert pareto_insert(frontier, (1.0, 2.0, "a"), 2)
+    assert pareto_insert(frontier, (2.0, 1.0, "b"), 2)
+    # Dominated point rejected.
+    assert not pareto_insert(frontier, (2.0, 3.0, "c"), 2)
+    # Dominating point evicts.
+    assert pareto_insert(frontier, (0.5, 0.5, "d"), 2)
+    assert [e[2] for e in frontier] == ["d"]
+
+
+def test_heterogeneous_matches_homogeneous_when_optimal():
+    """On a uniform backbone with S | D, free replication should do at
+    least as well as forced-equal replication."""
+    hom = partition_backbone(_ctx(), 2, 4)
+    het = partition_backbone(_ctx(), 2, 4, heterogeneous=True)
+    assert het.t_max_ms <= hom.t_max_ms + 1e-9
+    assert sum(st.replicas for st in het.down) <= 4
+
+
+def test_heterogeneous_uneven_devices():
+    """Heterogeneous replication handles S !| D."""
+    plan = partition_backbone(_ctx(), 2, 3, heterogeneous=True)
+    assert plan.num_stages == 2
+    assert sum(st.replicas for st in plan.down) <= 3
+    # The heavier share of devices goes somewhere useful: both stages
+    # keep at least one device.
+    assert all(st.replicas >= 1 for st in plan.down)
+
+
+def test_stage_costs_validation():
+    with pytest.raises(ConfigurationError):
+        StageCosts(_ctx(), replicas=0)

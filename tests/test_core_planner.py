@@ -1,0 +1,135 @@
+"""Planner (front-end workflow) tests."""
+
+import pytest
+
+from repro.core import DiffusionPipePlanner, PlannerOptions
+from repro.errors import ConfigurationError
+from repro.models.zoo import cascaded_model, uniform_model
+
+
+def _options(**kw):
+    base = dict(
+        max_stages=4,
+        micro_batch_counts=(1, 2, 4),
+        group_sizes=(2, 4),
+        check_memory=False,
+    )
+    base.update(kw)
+    return PlannerOptions(**base)
+
+
+def test_candidate_configs_feasibility(cluster8, uniform, uniform_profile):
+    planner = DiffusionPipePlanner(uniform, cluster8, uniform_profile, _options())
+    configs = list(planner.candidate_configs(64))
+    assert configs
+    for D, S, M in configs:
+        assert 8 % D == 0
+        assert D % S == 0
+        dp = 8 // D
+        assert 64 % dp == 0
+        assert (64 / dp) % M == 0
+
+
+def test_plan_picks_max_throughput(cluster8, uniform, uniform_profile):
+    planner = DiffusionPipePlanner(uniform, cluster8, uniform_profile, _options())
+    all_plans = planner.candidate_plans(64)
+    best = planner.plan(64)
+    assert best.plan.throughput == max(ev.plan.throughput for ev in all_plans)
+
+
+def test_filling_improves_iteration(cluster8, uniform, uniform_profile):
+    filled = DiffusionPipePlanner(
+        uniform, cluster8, uniform_profile, _options()
+    ).plan(64)
+    unfilled = DiffusionPipePlanner(
+        uniform, cluster8, uniform_profile,
+        _options(enable_bubble_filling=False),
+    ).plan(64)
+    assert filled.plan.throughput >= unfilled.plan.throughput
+    assert filled.plan.bubble_ratio_filled <= filled.plan.bubble_ratio_unfilled
+
+
+def test_evaluate_specific_config(cluster8, uniform, uniform_profile):
+    planner = DiffusionPipePlanner(uniform, cluster8, uniform_profile, _options())
+    ev = planner.evaluate(64, group_size=2, num_stages=2, num_micro=2)
+    assert ev is not None
+    p = ev.plan
+    assert p.partition.num_stages == 2
+    assert p.data_parallel_degree == 4
+    assert p.iteration_ms > 0
+    assert p.throughput == pytest.approx(64 / p.iteration_ms * 1e3)
+    assert p.config_label == "S=2 M=2 D=2 dp=4"
+
+
+def test_keep_timeline_option(cluster8, uniform, uniform_profile):
+    planner = DiffusionPipePlanner(
+        uniform, cluster8, uniform_profile, _options(keep_timeline=True)
+    )
+    ev = planner.evaluate(64, 2, 2, 2)
+    assert ev.timeline is not None
+    assert ev.timeline.makespan == pytest.approx(ev.plan.pipeline_ms)
+
+
+def test_self_conditioning_expectation(cluster8):
+    model_sc = uniform_model(self_conditioning=True)
+    model_plain = uniform_model(self_conditioning=False)
+    from repro.profiling import Profiler
+
+    prof = Profiler(cluster8).profile(model_sc)
+    sc = DiffusionPipePlanner(model_sc, cluster8, prof, _options()).evaluate(
+        64, 2, 2, 2
+    )
+    plain = DiffusionPipePlanner(model_plain, cluster8, prof, _options()).evaluate(
+        64, 2, 2, 2
+    )
+    # The expected iteration with a 0.5-probability extra forward is
+    # strictly longer than vanilla but far less than 2x.
+    assert sc.plan.iteration_ms > plain.plan.iteration_ms
+    assert sc.plan.iteration_ms < 1.7 * plain.plan.iteration_ms
+
+
+def test_cdm_plan_is_bidirectional(cluster8, cascaded, cascaded_profile):
+    planner = DiffusionPipePlanner(
+        cascaded, cluster8, cascaded_profile, _options(cdm_cut_step=1)
+    )
+    ev = planner.evaluate(64, 2, 2, 2)
+    assert ev.plan.partition.is_bidirectional
+    # Throughput counts both backbones' samples.
+    assert ev.plan.throughput == pytest.approx(
+        2 * 64 / ev.plan.iteration_ms * 1e3
+    )
+
+
+def test_memory_gate_rejects_oversized(cluster8, uniform):
+    """With a tiny device, every config OOMs and planning fails."""
+    from dataclasses import replace as dc_replace
+    from repro.cluster import ClusterSpec, DeviceSpec
+    from repro.profiling import Profiler
+
+    tiny_dev = DeviceSpec(name="tiny", memory_bytes=1e3)
+    tiny = ClusterSpec(num_machines=1, devices_per_machine=8, device_spec=tiny_dev)
+    prof = Profiler(tiny).profile(uniform)
+    planner = DiffusionPipePlanner(
+        uniform, tiny, prof, _options(check_memory=True)
+    )
+    with pytest.raises(ConfigurationError):
+        planner.plan(64)
+
+
+def test_three_backbones_rejected(cluster8):
+    from repro.models.zoo import timed_component
+    from repro.models import ModelSpec
+
+    comps = [
+        timed_component(f"b{i}", [5.0] * 3, trainable=True) for i in range(3)
+    ]
+    model = ModelSpec("m3", comps, backbone_names=("b0", "b1", "b2"))
+    with pytest.raises(ConfigurationError, match="two backbones"):
+        DiffusionPipePlanner(model, cluster8)
+
+
+def test_planner_options_validation():
+    with pytest.raises(ConfigurationError):
+        PlannerOptions(max_stages=1)
+    with pytest.raises(ConfigurationError):
+        PlannerOptions(micro_batch_counts=())

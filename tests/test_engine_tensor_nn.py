@@ -1,0 +1,147 @@
+"""NumPy layer library tests, including gradient checks."""
+
+import numpy as np
+import pytest
+
+from repro.engine import Chain, Dense, ReLU, Tanh, mlp_chain, mse_loss
+from repro.engine.tensor_nn import add_grads, frozen_encoder
+from repro.errors import EngineError
+
+
+def numerical_grad(f, x, eps=1e-6):
+    g = np.zeros_like(x)
+    it = np.nditer(x, flags=["multi_index"])
+    while not it.finished:
+        idx = it.multi_index
+        old = x[idx]
+        x[idx] = old + eps
+        fp = f()
+        x[idx] = old - eps
+        fm = f()
+        x[idx] = old
+        g[idx] = (fp - fm) / (2 * eps)
+        it.iternext()
+    return g
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+def test_dense_shapes_and_grad(rng):
+    layer = Dense("fc", 4, 3, rng)
+    x = rng.normal(size=(5, 4))
+    y, cache = layer.forward(x)
+    assert y.shape == (5, 3)
+    dy = rng.normal(size=(5, 3))
+    dx, grads = layer.backward(dy, cache)
+    assert dx.shape == x.shape
+    assert grads["W"].shape == (4, 3)
+    assert grads["b"].shape == (3,)
+
+    # Check dW against numerical differentiation of sum(dy * y).
+    def loss():
+        out, _ = layer.forward(x)
+        return float(np.sum(dy * out))
+
+    num = numerical_grad(loss, layer.params["W"])
+    assert np.allclose(num, grads["W"], atol=1e-5)
+    num_b = numerical_grad(loss, layer.params["b"])
+    assert np.allclose(num_b, grads["b"], atol=1e-5)
+
+
+def test_dense_bad_input(rng):
+    layer = Dense("fc", 4, 3, rng)
+    with pytest.raises(EngineError):
+        layer.forward(rng.normal(size=(5, 7)))
+
+
+def test_activations_grad(rng):
+    for act in (ReLU("r"), Tanh("t")):
+        x = rng.normal(size=(6, 4))
+        y, cache = act.forward(x)
+        dy = rng.normal(size=y.shape)
+        dx, grads = act.backward(dy, cache)
+        assert grads == {}
+
+        def loss(act=act, x=x, dy=dy):
+            out, _ = act.forward(x)
+            return float(np.sum(dy * out))
+
+        num = numerical_grad(loss, x)
+        assert np.allclose(num, dx, atol=1e-5)
+
+
+def test_chain_forward_backward_consistency(rng):
+    chain = mlp_chain("m", [4, 6, 3], rng)
+    x = rng.normal(size=(8, 4))
+    y = rng.normal(size=(8, 3))
+    out, caches = chain.forward(x)
+    loss, dy = mse_loss(out, y)
+    dx, grads = chain.backward(dy, caches)
+    assert dx.shape == x.shape
+    # Every Dense layer reports gradients.
+    dense_names = [l.name for l in chain.layers if l.params]
+    assert set(grads) == set(dense_names)
+
+    # End-to-end numerical check on the first layer's weights.
+    W = chain.layers[0].params["W"]
+
+    def full_loss():
+        out, _ = chain.forward(x)
+        return mse_loss(out, y)[0]
+
+    num = numerical_grad(full_loss, W)
+    assert np.allclose(num, grads[chain.layers[0].name]["W"], atol=1e-5)
+
+
+def test_chain_slice_shares_params(rng):
+    chain = mlp_chain("m", [4, 6, 3], rng)
+    part = chain.slice(0, 2)
+    assert part.layers[0] is chain.layers[0]
+    with pytest.raises(EngineError):
+        chain.slice(2, 2)
+    with pytest.raises(EngineError):
+        Chain([])
+
+
+def test_mse_loss_gradient_scale(rng):
+    pred = rng.normal(size=(4, 3))
+    target = rng.normal(size=(4, 3))
+    loss, dpred = mse_loss(pred, target)
+    assert loss == pytest.approx(float(np.mean((pred - target) ** 2)))
+    assert np.allclose(dpred, 2 * (pred - target) / pred.size)
+    with pytest.raises(EngineError):
+        mse_loss(pred, target[:2])
+
+
+def test_frozen_encoder_not_trainable(rng):
+    enc = frozen_encoder("e", 4, 3, rng)
+    assert all(not l.trainable for l in enc.layers)
+    x = rng.normal(size=(5, 4))
+    out, _ = enc.forward(x)
+    assert out.shape == (5, 3)
+
+
+def test_add_grads_accumulates(rng):
+    a = {"l": {"W": np.ones((2, 2))}}
+    add_grads(a, {"l": {"W": np.full((2, 2), 2.0)}})
+    assert np.allclose(a["l"]["W"], 3.0)
+    add_grads(a, {"m": {"b": np.ones(2)}})
+    assert "m" in a
+
+
+def test_param_vector_deterministic(rng):
+    chain = mlp_chain("m", [3, 4, 2], rng)
+    v1 = chain.param_vector()
+    v2 = chain.param_vector()
+    assert np.array_equal(v1, v2)
+    assert v1.size == 3 * 4 + 4 + 4 * 2 + 2
+
+
+def test_mlp_chain_validation(rng):
+    with pytest.raises(EngineError):
+        mlp_chain("m", [4], rng)
+    with pytest.raises(EngineError):
+        mlp_chain("m", [4, 3], rng, activation="gelu")

@@ -1,0 +1,37 @@
+"""Exception-hierarchy tests."""
+
+import pytest
+
+from repro import errors
+
+
+def test_hierarchy():
+    for exc in (
+        errors.ConfigurationError,
+        errors.ProfileError,
+        errors.PartitionError,
+        errors.ScheduleError,
+        errors.SimulationError,
+        errors.FillingError,
+        errors.MemoryError_,
+        errors.EngineError,
+    ):
+        assert issubclass(exc, errors.ReproError)
+    assert issubclass(errors.OutOfMemory, errors.MemoryError_)
+    # The library's MemoryError_ does not shadow the builtin.
+    assert not issubclass(errors.MemoryError_, MemoryError)
+
+
+def test_out_of_memory_message():
+    exc = errors.OutOfMemory(90e9, 80e9, detail="stage 0")
+    msg = str(exc)
+    assert "83.82 GiB" in msg  # 90e9 bytes rendered in GiB
+    assert "74.51 GiB" in msg
+    assert "stage 0" in msg
+    assert exc.required_bytes == 90e9
+    assert exc.capacity_bytes == 80e9
+
+
+def test_catchable_as_repro_error():
+    with pytest.raises(errors.ReproError):
+        raise errors.PartitionError("nope")

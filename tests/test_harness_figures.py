@@ -1,0 +1,73 @@
+"""Figure-data generator tests (on fast synthetic models)."""
+
+import pytest
+
+from repro.harness import (
+    ablation_throughputs,
+    bubble_ratio_comparison,
+    bubble_ratio_grid,
+    longest_bubble_by_stages,
+    nt_layer_times,
+    top_layer_series,
+)
+from repro.models.zoo import long_layer_model, uniform_model
+
+
+def test_bubble_ratio_grid_monotone(cluster8, uniform, uniform_profile):
+    cells = bubble_ratio_grid(
+        uniform, cluster8, uniform_profile, batch=64,
+        stage_counts=(2, 4), micro_counts=(1, 2, 4),
+    )
+    by = {(c.num_stages, c.num_micro): c for c in cells}
+    assert len(cells) == 6
+    for S in (2, 4):
+        series = [by[(S, M)].ratio_of_iteration for M in (1, 2, 4)]
+        assert series == sorted(series, reverse=True)
+    for M in (1, 2, 4):
+        assert by[(4, M)].ratio_of_iteration > by[(2, M)].ratio_of_iteration
+    assert all(0 < c.ratio_of_iteration < 1 for c in cells)
+    assert all(c.ratio_of_nt_time > 0 for c in cells)
+
+
+def test_nt_layer_times_enumeration(uniform, uniform_profile):
+    times = nt_layer_times(uniform, uniform_profile, batch=64)
+    assert len(times) == 6
+    assert [i for _, i, _ in times] == list(range(6))
+    assert all(t == pytest.approx(4.0, rel=1e-6) for _, _, t in times)
+
+
+def test_top_layer_series_ranks_correctly(long_layer, long_layer_profile):
+    series = top_layer_series(long_layer, long_layer_profile, top_k=2,
+                              batches=(8, 16, 32, 64))
+    # The 400 ms layer (index 5) ranks first.
+    assert series[0].layer == 5
+    assert series[0].times_ms[-1] > series[1].times_ms[-1]
+    # Times rise with batch size.
+    assert list(series[0].times_ms) == sorted(series[0].times_ms)
+
+
+def test_longest_bubble_by_stages_monotone(cluster8, uniform, uniform_profile):
+    bubbles = longest_bubble_by_stages(
+        uniform, cluster8, uniform_profile, batch=64, num_micro=2,
+        stage_counts=(2, 4),
+    )
+    assert bubbles[4] >= bubbles[2] > 0
+
+
+def test_bubble_ratio_comparison_shape(cluster8, uniform, uniform_profile):
+    out = bubble_ratio_comparison(
+        uniform, cluster8, uniform_profile, batches=(64,),
+    )
+    assert set(out) == {"DiffusionPipe", "GPipe", "SPP"}
+    assert out["DiffusionPipe"][64] <= out["SPP"][64]
+    assert out["GPipe"][64] > 0
+
+
+def test_ablation_throughputs_ordering(cluster8, long_layer, long_layer_profile):
+    out = ablation_throughputs(
+        long_layer, cluster8, long_layer_profile, batches=(64,),
+    )
+    full = out["DiffusionPipe"][64]
+    nop = out["Partial-batch disabled"][64]
+    nof = out["Bubble filling disabled"][64]
+    assert full >= nop >= nof > 0

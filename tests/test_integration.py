@@ -1,0 +1,125 @@
+"""End-to-end integration tests across the full front-end + back-end."""
+
+import numpy as np
+import pytest
+
+from repro.cluster import single_node
+from repro.core import (
+    DiffusionPipePlanner,
+    PlannerOptions,
+    extract_bubbles,
+    lower_timeline,
+    Op,
+)
+from repro.engine import SGD, InstructionEngine, SingleDeviceTrainer, clone_chain, mlp_chain
+from repro.engine.equivalence import max_param_diff
+from repro.models.zoo import stable_diffusion_v2_1, uniform_model
+from repro.profiling import Profiler
+
+
+def test_full_frontend_on_stable_diffusion():
+    """Plan SD v2.1 on one node end to end and check the paper's
+    qualitative claims hold on the resulting plan."""
+    cluster = single_node(8)
+    model = stable_diffusion_v2_1(self_conditioning=False)
+    profile = Profiler(cluster).profile(model)
+    planner = DiffusionPipePlanner(
+        model, cluster, profile,
+        options=PlannerOptions(
+            max_stages=4, micro_batch_counts=(1, 2, 4), group_sizes=(2, 4),
+            keep_timeline=True,
+        ),
+    )
+    ev = planner.plan(256)
+    plan = ev.plan
+    # Near-complete bubble elimination.
+    assert plan.bubble_ratio_filled < 0.10
+    assert plan.bubble_ratio_filled < plan.bubble_ratio_unfilled
+    # The NT part fits (mostly) in bubbles: leftover is a small share.
+    assert plan.leftover_ms < 0.25 * plan.pipeline_ms
+    # Memory fits on 80 GB devices.
+    assert plan.memory is not None and plan.memory.fits
+    # The retained timeline agrees with the plan's pipeline time.
+    assert ev.timeline.makespan == pytest.approx(plan.pipeline_ms)
+
+
+def test_planned_schedule_lowers_and_executes():
+    """The planner's timeline lowers to instructions that the numeric
+    engine executes to the exact same result as single-device training."""
+    cluster = single_node(8)
+    model = uniform_model(backbone_layers=6)
+    profile = Profiler(cluster).profile(model)
+    planner = DiffusionPipePlanner(
+        model, cluster, profile,
+        options=PlannerOptions(
+            max_stages=2, micro_batch_counts=(2,), group_sizes=(2,),
+            keep_timeline=True, check_memory=False,
+            enable_bubble_filling=False,
+        ),
+    )
+    ev = planner.evaluate(64, group_size=2, num_stages=2, num_micro=2)
+    assert ev is not None and ev.timeline is not None
+    streams = lower_timeline(ev.timeline)
+
+    # Build a numeric model whose stage split mirrors the plan: the
+    # planner cut the 6-layer backbone at some boundary; express the
+    # same proportion over a 6-Dense chain (layer i <-> Dense i).
+    rng = np.random.default_rng(3)
+    dims = [4, 8, 8, 8, 8, 8, 2]
+    chain = mlp_chain("m", dims, rng, activation="tanh")
+    # mlp_chain interleaves Dense+act; map stage boundary in layers to
+    # the Dense index in the chain (2 chain entries per Dense except last).
+    cut_layers = ev.plan.partition.down[0].hi
+    cut_chain = 2 * cut_layers
+    ref = SingleDeviceTrainer(clone_chain(chain), optimizer=SGD(lr=0.05))
+    eng = InstructionEngine(
+        [chain.slice(0, cut_chain), chain.slice(cut_chain, len(chain.layers))],
+        streams,
+        optimizer_factory=lambda: SGD(lr=0.05),
+    )
+    x = rng.normal(size=(8, 4))
+    y = rng.normal(size=(8, 2))
+    eng.run({0: x[:4], 1: x[4:]}, {0: y[:4], 1: y[4:]})
+    ref.step(x, y)
+    got = np.concatenate([s.chain.param_vector() for s in eng.stages])
+    assert max_param_diff(got, ref.chain.param_vector()) < 1e-12
+
+
+def test_noisy_profile_still_plans():
+    """Profiling noise (the paper's explanation for residual bubbles)
+    degrades but does not break planning."""
+    cluster = single_node(8)
+    model = uniform_model()
+    clean = Profiler(cluster).profile(model)
+    noisy = Profiler(cluster, noise_std=0.05, seed=11).profile(model)
+    opts = PlannerOptions(
+        max_stages=2, micro_batch_counts=(2, 4), group_sizes=(2,),
+        check_memory=False,
+    )
+    p_clean = DiffusionPipePlanner(model, cluster, clean, opts).plan(64)
+    p_noisy = DiffusionPipePlanner(model, cluster, noisy, opts).plan(64)
+    assert p_noisy.plan.throughput > 0
+    # Same order of magnitude.
+    assert 0.5 < p_noisy.plan.throughput / p_clean.plan.throughput < 2.0
+
+
+def test_instruction_streams_have_nt_work_when_filled():
+    cluster = single_node(8)
+    model = uniform_model(encoder_layers=8, encoder_layer_ms=6.0)
+    profile = Profiler(cluster).profile(model)
+    planner = DiffusionPipePlanner(
+        model, cluster, profile,
+        options=PlannerOptions(
+            max_stages=2, micro_batch_counts=(2,), group_sizes=(2,),
+            keep_timeline=True, check_memory=False, min_bubble_ms=1.0,
+        ),
+    )
+    ev = planner.evaluate(64, 2, 2, 2)
+    assert ev is not None and ev.plan.fill is not None
+    bubbles = extract_bubbles(ev.timeline, min_duration_ms=1.0)
+    meta = {i: (b.start, b.devices) for i, b in enumerate(bubbles)}
+    streams = lower_timeline(ev.timeline, ev.plan.fill.items, meta)
+    nt_ops = [
+        i for s in streams.values() for i in s if i.op == Op.NT_FORWARD
+    ]
+    assert nt_ops, "expected NT_FORWARD instructions from bubble filling"

@@ -1,0 +1,115 @@
+"""Memory estimator tests."""
+
+import pytest
+
+from repro.core.plan import PartitionPlan, StageAssignment
+from repro.errors import ConfigurationError
+from repro.memory import (
+    component_state_bytes,
+    data_parallel_memory_report,
+    frozen_state_bytes,
+    pipeline_memory_report,
+    stage_activation_bytes,
+    stage_state_bytes,
+)
+from repro.models import ComponentSpec, LayerSpec, ModelSpec
+
+
+def _model(backbone_layers=4, act_bytes=1e6, param_bytes=2e6):
+    bb_layers = [
+        LayerSpec(
+            name=f"b{i}", flops_per_sample=1e9, param_bytes=param_bytes,
+            output_bytes_per_sample=1e4, activation_bytes_per_sample=act_bytes,
+            trainable=True,
+        )
+        for i in range(backbone_layers)
+    ]
+    enc_layers = [
+        LayerSpec(
+            name="e0", flops_per_sample=1e9, param_bytes=4e6,
+            output_bytes_per_sample=1e4, trainable=False,
+        )
+    ]
+    return ModelSpec(
+        "m",
+        [
+            ComponentSpec("enc", enc_layers, trainable=False),
+            ComponentSpec("bb", bb_layers, trainable=True, depends_on=("enc",)),
+        ],
+        backbone_names=("bb",),
+    )
+
+
+def test_state_bytes_accounting():
+    m = _model()
+    bb = m.components["bb"]
+    # 16 bytes/param for trainable: params = 4 layers * 2e6/2 = 4e6 params.
+    assert component_state_bytes(bb) == 4e6 * 16
+    enc = m.components["enc"]
+    # Frozen: fp16 only -> same as param_bytes.
+    assert component_state_bytes(enc) == 4e6
+    assert frozen_state_bytes(m) == 4e6
+
+
+def test_stage_level_accounting():
+    m = _model()
+    st = StageAssignment("bb", 0, 2)
+    assert stage_state_bytes(m, st) == 2e6 * 16
+    assert stage_activation_bytes(m, st, local_batch=8) == 2 * 1e6 * 8
+
+
+def test_pipeline_memory_1f1b_window():
+    m = _model()
+    plan = PartitionPlan(
+        down=(StageAssignment("bb", 0, 2), StageAssignment("bb", 2, 4)),
+        num_stages=2, num_micro_batches=4, group_size=2, batch_per_group=32,
+    )
+    rep = pipeline_memory_report(m, plan, capacity_bytes=1e12)
+    # Stage 0 holds min(S, M)=2 in-flight micro-batches of 8 samples.
+    expected_stage0 = (
+        frozen_state_bytes(m)
+        + 2e6 * 16
+        + 2 * (2 * 1e6 * 8)
+    )
+    assert rep.peak_bytes == pytest.approx(expected_stage0)
+    assert rep.fits
+
+
+def test_gpipe_memory_exceeds_1f1b():
+    m = _model()
+    plan = PartitionPlan(
+        down=(StageAssignment("bb", 0, 2), StageAssignment("bb", 2, 4)),
+        num_stages=2, num_micro_batches=4, group_size=2, batch_per_group=32,
+    )
+    f1b = pipeline_memory_report(m, plan, capacity_bytes=1e12)
+    gp = pipeline_memory_report(m, plan, capacity_bytes=1e12, schedule="gpipe")
+    assert gp.peak_bytes > f1b.peak_bytes
+    with pytest.raises(ConfigurationError):
+        pipeline_memory_report(m, plan, capacity_bytes=1e12, schedule="pipedream")
+
+
+def test_data_parallel_memory_and_oom():
+    m = _model(act_bytes=1e9)
+    small = data_parallel_memory_report(m, 1, capacity_bytes=80e9)
+    assert small.fits
+    big = data_parallel_memory_report(m, 64, capacity_bytes=80e9)
+    assert not big.fits
+    assert big.breakdown["activations"] == pytest.approx(4 * 1e9 * 64)
+
+
+def test_zero3_shards_states():
+    m = _model()
+    ddp = data_parallel_memory_report(m, 8, capacity_bytes=80e9, world_size=8)
+    z3 = data_parallel_memory_report(
+        m, 8, capacity_bytes=80e9, zero3=True, world_size=8
+    )
+    assert z3.peak_bytes < ddp.peak_bytes
+    assert z3.breakdown["trainable_states"] < ddp.breakdown["trainable_states"]
+
+
+def test_validation():
+    m = _model()
+    with pytest.raises(ConfigurationError):
+        data_parallel_memory_report(m, 0, capacity_bytes=1)
+    with pytest.raises(ConfigurationError):
+        data_parallel_memory_report(m, 8, capacity_bytes=1, world_size=0)

@@ -1,0 +1,76 @@
+"""ComponentSpec tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import ComponentSpec, LayerSpec
+
+
+def _layers(n, trainable=True, prefix="l"):
+    return [
+        LayerSpec(
+            name=f"{prefix}{i}", flops_per_sample=1e9, param_bytes=1e6,
+            output_bytes_per_sample=100, trainable=trainable,
+        )
+        for i in range(n)
+    ]
+
+
+def test_basic_aggregates():
+    c = ComponentSpec("c", _layers(4), trainable=True)
+    assert c.num_layers == 4
+    assert len(c) == 4
+    assert c.param_bytes == 4e6
+    assert c.grad_bytes == 4e6
+    assert c.forward_flops(2) == 8e9
+    assert c.backward_flops(2) == 16e9
+    assert c.output_bytes(3) == 300
+    assert [l.name for l in c] == ["l0", "l1", "l2", "l3"]
+    assert c[1].name == "l1"
+
+
+def test_frozen_component_has_no_grads():
+    c = ComponentSpec("c", _layers(3, trainable=False), trainable=False)
+    assert c.grad_bytes == 0.0
+    assert c.backward_flops(4) == 0.0
+
+
+def test_trainable_flag_consistency():
+    with pytest.raises(ConfigurationError):
+        ComponentSpec("c", _layers(3, trainable=False), trainable=True)
+    with pytest.raises(ConfigurationError):
+        ComponentSpec("c", _layers(3, trainable=True), trainable=False)
+
+
+def test_duplicate_layer_names_rejected():
+    layers = _layers(2) + _layers(1)
+    with pytest.raises(ConfigurationError):
+        ComponentSpec("c", layers, trainable=True)
+
+
+def test_empty_and_selfdep_rejected():
+    with pytest.raises(ConfigurationError):
+        ComponentSpec("c", [], trainable=True)
+    with pytest.raises(ConfigurationError):
+        ComponentSpec("c", _layers(1), trainable=True, depends_on=("c",))
+
+
+def test_slice():
+    c = ComponentSpec("c", _layers(5), trainable=True)
+    s = c.slice(1, 4)
+    assert s.num_layers == 3
+    assert s.layers[0].name == "l1"
+    assert s.trainable
+    with pytest.raises(ConfigurationError):
+        c.slice(3, 3)
+    with pytest.raises(ConfigurationError):
+        c.slice(0, 6)
+
+
+def test_frozen_copy_of_component():
+    c = ComponentSpec("c", _layers(3), trainable=True)
+    f = c.frozen("c_locked")
+    assert f.name == "c_locked"
+    assert not f.trainable
+    assert all(not l.trainable for l in f.layers)
+    assert f.param_bytes == c.param_bytes

@@ -1,0 +1,76 @@
+"""LayerSpec tests."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.models import LayerSpec, conv_block, transformer_block
+
+
+def test_layer_defaults():
+    l = LayerSpec(name="l", flops_per_sample=1e9, output_bytes_per_sample=100)
+    assert l.activation_bytes_per_sample == 100
+    assert l.trainable
+    assert l.grad_bytes == 0.0  # no params
+
+
+def test_layer_sizes_scale_with_batch():
+    l = LayerSpec(
+        name="l", flops_per_sample=1e9, param_bytes=1e6,
+        output_bytes_per_sample=100, activation_bytes_per_sample=400,
+    )
+    assert l.output_bytes(8) == 800
+    assert l.activation_bytes(8) == 3200
+    assert l.forward_flops(4) == 4e9
+    assert l.backward_flops(4) == 8e9
+    assert l.grad_bytes == 1e6
+
+
+def test_frozen_copy():
+    l = LayerSpec(name="l", flops_per_sample=1e9, param_bytes=1e6)
+    f = l.frozen()
+    assert not f.trainable
+    assert f.backward_flops(8) == 0.0
+    assert f.grad_bytes == 0.0
+    assert l.trainable  # original untouched
+
+
+def test_scaled_copy():
+    l = LayerSpec(
+        name="l", flops_per_sample=1e9, param_bytes=1e6,
+        output_bytes_per_sample=100,
+    )
+    s = l.scaled(2.0)
+    assert s.flops_per_sample == 2e9
+    assert s.param_bytes == 2e6
+    assert s.output_bytes_per_sample == 200
+    with pytest.raises(ConfigurationError):
+        l.scaled(0)
+
+
+def test_validation():
+    with pytest.raises(ConfigurationError):
+        LayerSpec(name="x", flops_per_sample=-1)
+    with pytest.raises(ConfigurationError):
+        LayerSpec(name="x", flops_per_sample=1, param_bytes=-1)
+    with pytest.raises(ConfigurationError):
+        LayerSpec(name="x", flops_per_sample=1, output_bytes_per_sample=-1)
+    with pytest.raises(ConfigurationError):
+        LayerSpec(name="x", flops_per_sample=1, backward_flops_multiplier=-1)
+
+
+def test_transformer_block_footprint():
+    b = transformer_block("t", hidden=1024, seq_len=77)
+    # Parameters: (4 + 8) h^2 at 2 bytes each.
+    assert b.param_bytes == pytest.approx(12 * 1024 * 1024 * 2)
+    assert b.output_bytes_per_sample == 1024 * 77 * 2
+    assert b.flops_per_sample > 0
+    assert b.trainable
+
+
+def test_conv_block_footprint():
+    b = conv_block("c", 64, 128, resolution=32, trainable=False)
+    assert b.param_bytes == 64 * 128 * 9 * 2
+    assert b.output_bytes_per_sample == 128 * 32 * 32 * 2
+    assert not b.trainable
+    with pytest.raises(ConfigurationError):
+        conv_block("c", 64, 128, resolution=0)

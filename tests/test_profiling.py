@@ -1,0 +1,131 @@
+"""Profiler and ProfileDB tests."""
+
+import pytest
+
+from repro.cluster import single_node
+from repro.errors import ConfigurationError, ProfileError
+from repro.models.zoo import uniform_model
+from repro.profiling import DEFAULT_BATCH_GRID, LayerProfile, ProfileDB, Profiler
+
+from .conftest import make_synthetic_db
+
+
+def test_profile_grid_covers_partial_batch_menu():
+    for b in (4, 8, 12, 16, 24, 32, 48, 64, 96):
+        assert b in DEFAULT_BATCH_GRID
+
+
+def test_profiler_produces_complete_db(cluster8, uniform):
+    db = Profiler(cluster8).profile(uniform)
+    assert set(db.components()) == {"backbone", "encoder"}
+    assert db.num_layers("backbone") == 8
+    assert db.num_layers("encoder") == 6
+    # Frozen layers have no backward time or gradients.
+    assert db.bwd_ms("encoder", 0, 16) == 0.0
+    assert db.layer("encoder", 0).grad_bytes == 0.0
+    assert db.bwd_ms("backbone", 0, 16) > 0.0
+
+
+def test_profiler_anchor_times(cluster8, uniform):
+    """timed_component targets 10 ms per backbone layer at batch 64."""
+    db = Profiler(cluster8).profile(uniform)
+    assert db.fwd_ms("backbone", 0, 64) == pytest.approx(10.0, rel=1e-6)
+    assert db.fwd_ms("encoder", 0, 64) == pytest.approx(4.0, rel=1e-6)
+
+
+def test_profiler_noise_reproducible(cluster8, uniform):
+    a = Profiler(cluster8, noise_std=0.05, seed=7).profile(uniform)
+    b = Profiler(cluster8, noise_std=0.05, seed=7).profile(uniform)
+    c = Profiler(cluster8, noise_std=0.05, seed=8).profile(uniform)
+    assert a.fwd_ms("backbone", 0, 64) == b.fwd_ms("backbone", 0, 64)
+    assert a.fwd_ms("backbone", 0, 64) != c.fwd_ms("backbone", 0, 64)
+
+
+def test_profiler_validation(cluster8):
+    with pytest.raises(ConfigurationError):
+        Profiler(cluster8, batch_sizes=())
+    with pytest.raises(ConfigurationError):
+        Profiler(cluster8, batch_sizes=(0, 4))
+    with pytest.raises(ConfigurationError):
+        Profiler(cluster8, noise_std=-1)
+
+
+def test_profiling_report(cluster8, uniform):
+    rep = Profiler(cluster8).report(uniform)
+    assert rep.num_layers == 14
+    assert rep.measurements == 14 * len(DEFAULT_BATCH_GRID) * 3
+    assert rep.wall_time_ms > 0
+    with pytest.raises(ConfigurationError):
+        Profiler(cluster8).report(uniform, repetitions=0)
+
+
+def test_interpolation_exact_at_grid():
+    db = make_synthetic_db(batches=(1.0, 64.0))
+    assert db.fwd_ms("backbone", 0, 64) == 10.0
+    assert db.fwd_ms("backbone", 0, 1) == pytest.approx(10.0 / 64)
+
+
+def test_interpolation_between_points():
+    db = make_synthetic_db(batches=(1.0, 64.0))
+    # Linear between (1, 10/64) and (64, 10).
+    t32 = db.fwd_ms("backbone", 0, 32)
+    expected = 10.0 / 64 + (10.0 - 10.0 / 64) * (32 - 1) / 63
+    assert t32 == pytest.approx(expected)
+
+
+def test_extrapolation_beyond_grid():
+    db = make_synthetic_db(batches=(1.0, 64.0))
+    t128 = db.fwd_ms("backbone", 0, 128)
+    assert t128 == pytest.approx(20.0, rel=0.02)
+    # Never negative on the low side.
+    assert db.fwd_ms("backbone", 0, 0.5) >= 0.0
+
+
+def test_stage_aggregates():
+    db = make_synthetic_db()
+    assert db.stage_fwd_ms("backbone", 0, 4, 64) == pytest.approx(40.0)
+    assert db.stage_bwd_ms("backbone", 0, 4, 64) == pytest.approx(80.0)
+    assert db.stage_train_ms("backbone", 0, 8, 64) == pytest.approx(240.0)
+    assert db.component_fwd_ms("encoder", 64) == pytest.approx(24.0)
+    assert db.stage_grad_bytes("backbone", 0, 3) == 3e6
+    assert db.stage_grad_bytes("encoder", 0, 3) == 0.0
+
+
+def test_db_error_paths():
+    db = make_synthetic_db()
+    with pytest.raises(ProfileError):
+        db.fwd_ms("ghost", 0, 8)
+    with pytest.raises(ProfileError):
+        db.layer("backbone", 99)
+    with pytest.raises(ProfileError):
+        db.stage_fwd_ms("backbone", 5, 3, 8)
+    with pytest.raises(ProfileError):
+        db.fwd_ms("backbone", 0, 0)
+
+
+def test_layer_profile_validation():
+    with pytest.raises(ProfileError):
+        LayerProfile(
+            component="c", layer_index=0, layer_name="l",
+            batches=(), fwd_ms=(), bwd_ms=(),
+            param_bytes=0, grad_bytes=0, output_bytes_per_sample=0,
+            activation_bytes_per_sample=0, trainable=True,
+        )
+    with pytest.raises(ProfileError):
+        LayerProfile(
+            component="c", layer_index=0, layer_name="l",
+            batches=(2.0, 1.0), fwd_ms=(1.0, 1.0), bwd_ms=(0.0, 0.0),
+            param_bytes=0, grad_bytes=0, output_bytes_per_sample=0,
+            activation_bytes_per_sample=0, trainable=True,
+        )
+
+
+def test_db_missing_layer_detection():
+    good = LayerProfile(
+        component="c", layer_index=1, layer_name="l1",
+        batches=(1.0,), fwd_ms=(1.0,), bwd_ms=(0.0,),
+        param_bytes=0, grad_bytes=0, output_bytes_per_sample=0,
+        activation_bytes_per_sample=0, trainable=False,
+    )
+    with pytest.raises(ProfileError):
+        ProfileDB([good])  # layer 0 missing

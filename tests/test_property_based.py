@@ -1,0 +1,237 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import CollectiveModel, CommCosts, a100_80gb, single_node
+from repro.core import (
+    PartitionContext,
+    extract_bubbles,
+    partition_backbone,
+    valid_partial_samples,
+)
+from repro.core.filling import ComponentState, fill_one_bubble
+from repro.core.bubbles import Bubble, total_bubble_device_time
+from repro.core.partition import pareto_insert
+from repro.engine import SGD, PipelineTrainer, SingleDeviceTrainer, clone_chain, mlp_chain
+from repro.engine.equivalence import max_param_diff
+from repro.profiling import ProfileDB
+from repro.schedule import StageExec, build_1f1b, build_gpipe, simulate
+
+FAST = CommCosts(bandwidth=6e8, latency=0.005)
+
+# ---------------------------------------------------------------------------
+# Simulator invariants
+# ---------------------------------------------------------------------------
+
+stage_times = st.lists(
+    st.tuples(
+        st.floats(min_value=0.5, max_value=50.0),
+        st.floats(min_value=0.5, max_value=100.0),
+    ),
+    min_size=2,
+    max_size=5,
+)
+
+
+@given(stage_times, st.integers(min_value=1, max_value=6))
+@settings(max_examples=40, deadline=None)
+def test_1f1b_makespan_bounds(times, M):
+    """Makespan is at least the busiest device's work and at most the
+    serial total; bubble ratio lies in [0, 1)."""
+    stages = [
+        StageExec(index=i, fwd_ms=f, bwd_ms=b) for i, (f, b) in enumerate(times)
+    ]
+    tl = simulate(build_1f1b(stages, M), len(stages))
+    per_stage = [M * (f + b) for f, b in times]
+    serial = sum(per_stage)
+    assert tl.makespan >= max(per_stage) - 1e-9
+    assert tl.makespan <= serial + 1e-6
+    assert 0.0 <= tl.bubble_ratio() < 1.0
+
+
+@given(stage_times, st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_gpipe_never_faster_than_critical_path(times, M):
+    stages = [
+        StageExec(index=i, fwd_ms=f, bwd_ms=b) for i, (f, b) in enumerate(times)
+    ]
+    tl = simulate(build_gpipe(stages, M), len(stages))
+    # Critical path >= one micro-batch traversing all stages + draining
+    # the slowest stage.
+    f_total = sum(f for f, _ in times)
+    b_total = sum(b for _, b in times)
+    assert tl.makespan >= f_total + b_total - 1e-9
+
+
+@given(stage_times, st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_bubble_extraction_conserves_idle_time(times, M):
+    """Sum of bubble device-times equals the timeline's idle accounting."""
+    stages = [
+        StageExec(index=i, fwd_ms=f, bwd_ms=b) for i, (f, b) in enumerate(times)
+    ]
+    tl = simulate(build_1f1b(stages, M), len(stages))
+    bubbles = extract_bubbles(tl, min_duration_ms=0.0)
+    assert total_bubble_device_time(bubbles) == np.float64(
+        tl.bubble_device_time()
+    ) or abs(total_bubble_device_time(bubbles) - tl.bubble_device_time()) < 1e-6
+
+
+# ---------------------------------------------------------------------------
+# Partitioner invariants
+# ---------------------------------------------------------------------------
+
+layer_times = st.lists(
+    st.tuples(
+        st.floats(min_value=1.0, max_value=50.0),
+        st.floats(min_value=1.0, max_value=100.0),
+    ),
+    min_size=4,
+    max_size=12,
+)
+
+
+def _ctx_from_times(times, M=2):
+    db = ProfileDB.from_layer_times(
+        {"bb": list(times)}, batches=(1.0, 64.0), trainable={"bb": True}
+    )
+    return PartitionContext(
+        profile=db, component="bb", batch_per_group=64.0,
+        num_micro_batches=M, p2p=FAST, allreduce=FAST,
+    )
+
+
+@given(layer_times, st.integers(min_value=2, max_value=4))
+@settings(max_examples=40, deadline=None)
+def test_partition_covers_chain_contiguously(times, S):
+    if S > len(times):
+        return
+    plan = partition_backbone(_ctx_from_times(times), S, S)
+    assert plan.down[0].lo == 0
+    assert plan.down[-1].hi == len(times)
+    for a, b in zip(plan.down, plan.down[1:]):
+        assert a.hi == b.lo
+    assert all(st_.num_layers >= 1 for st_ in plan.down)
+
+
+@given(layer_times)
+@settings(max_examples=30, deadline=None)
+def test_partition_w_is_lower_bounded_by_mean(times):
+    """max stage time >= total / S for any partition: the DP's W too."""
+    S = 2
+    ctx = _ctx_from_times(times)
+    plan = partition_backbone(ctx, S, S)
+    total = sum((f + b) for f, b in times) * (32 / 64)  # micro batch 32
+    assert plan.w_ms >= total / S - 1e-6
+
+
+@given(
+    st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0, 100)),
+        min_size=1,
+        max_size=30,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_pareto_frontier_invariant(points):
+    frontier: list[tuple] = []
+    for i, (w, y) in enumerate(points):
+        pareto_insert(frontier, (w, y, i), 2)
+    # No point in the frontier dominates another.
+    for a in frontier:
+        for b in frontier:
+            if a is b:
+                continue
+            assert not (a[0] <= b[0] and a[1] <= b[1]), (a, b)
+    # Every input point is dominated by (or equal to) some frontier point.
+    for w, y in points:
+        assert any(fw <= w and fy <= y for fw, fy, _ in frontier)
+
+
+# ---------------------------------------------------------------------------
+# Filling invariants
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.lists(st.floats(min_value=0.5, max_value=30.0), min_size=1, max_size=8),
+    st.floats(min_value=1.0, max_value=100.0),
+    st.integers(min_value=1, max_value=4),
+)
+@settings(max_examples=50, deadline=None)
+def test_fill_never_exceeds_bubble(times, bubble_ms, d):
+    db = ProfileDB.from_layer_times(
+        {"e": [(t, 0.0) for t in times]},
+        batches=(1.0, 64.0),
+        trainable={"e": False},
+        scale_with_batch=False,
+    )
+    state = ComponentState(name="e", num_layers=len(times), batch=64.0)
+    bubble = Bubble(start=0.0, end=bubble_ms, devices=tuple(range(d)), weight=d)
+    fill = fill_one_bubble(db, [state], bubble, 0)
+    assert fill.time_ms <= bubble_ms + 1e-6
+    assert sum(i.time_ms for i in fill.items) == np.float64(fill.time_ms) or abs(
+        sum(i.time_ms for i in fill.items) - fill.time_ms
+    ) < 1e-9
+    # Items reference valid layers, in order per component.
+    layers = [i.layer for i in fill.items]
+    assert layers == sorted(layers)
+
+
+@given(
+    st.integers(min_value=1, max_value=8),
+    st.floats(min_value=1.0, max_value=128.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_valid_partial_samples_properties(d, remaining):
+    out = valid_partial_samples(batch=128.0, idle_devices=d, remaining=remaining)
+    for total in out:
+        assert total <= remaining + 1e-9
+        assert (total / d) in (4, 8, 12, 16, 24, 32, 48, 64, 96)
+    assert out == sorted(out)
+
+
+# ---------------------------------------------------------------------------
+# Collectives
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=1, max_value=16),
+    st.floats(min_value=1.0, max_value=1e9),
+)
+@settings(max_examples=50, deadline=None)
+def test_allreduce_consistent_with_costs(n, size):
+    coll = CollectiveModel(single_node(16))
+    ranks = list(range(n))
+    costs = coll.allreduce_costs(ranks)
+    direct = coll.allreduce(ranks, size)
+    via_costs = size / costs.bandwidth + costs.latency
+    assert abs(direct - via_costs) < 1e-6 * max(direct, 1.0)
+
+
+# ---------------------------------------------------------------------------
+# Numeric engine
+# ---------------------------------------------------------------------------
+
+
+@given(
+    st.integers(min_value=0, max_value=2**31 - 1),
+    st.sampled_from([1, 2, 4, 8]),
+)
+@settings(max_examples=15, deadline=None)
+def test_pipeline_equivalence_random_models(seed, micro):
+    rng = np.random.default_rng(seed)
+    chain = mlp_chain("m", [3, 5, 5, 2], rng)
+    x = rng.normal(size=(8, 3))
+    y = rng.normal(size=(8, 2))
+    single = SingleDeviceTrainer(clone_chain(chain), optimizer=SGD(lr=0.05))
+    pipe = PipelineTrainer(clone_chain(chain), [2], num_micro=micro,
+                           optimizer_factory=lambda: SGD(lr=0.05))
+    single.step(x, y)
+    pipe.step(x, y)
+    assert max_param_diff(single.chain.param_vector(), pipe.param_vector()) < 1e-11

@@ -1,0 +1,41 @@
+"""Unit helpers."""
+
+import pytest
+
+from repro import units
+
+
+def test_size_constants():
+    assert units.KB == 1024
+    assert units.MB == 1024**2
+    assert units.GB == 1024**3
+    assert units.kb(2) == 2048
+    assert units.mb(1) == units.MB
+    assert units.gb(3) == 3 * units.GB
+
+
+def test_time_conversions():
+    assert units.seconds(1500.0) == 1.5
+    assert units.ms_from_seconds(2.0) == 2000.0
+
+
+def test_bandwidth_conversions():
+    # 400 Gbit/s == 50e6 bytes per ms.
+    assert units.gbps_to_bytes_per_ms(400) == pytest.approx(50e6)
+    # 600 GB/s == 600e6 bytes per ms.
+    assert units.gBps_to_bytes_per_ms(600) == pytest.approx(600e6)
+    # 312 TFLOP/s == 3.12e11 FLOP per ms.
+    assert units.tflops_to_flops_per_ms(312) == pytest.approx(3.12e11)
+
+
+def test_fmt_ms():
+    assert units.fmt_ms(2500.0) == "2.50 s"
+    assert units.fmt_ms(12.345) == "12.35 ms"
+    assert units.fmt_ms(0.5) == "500.0 us"
+
+
+def test_fmt_bytes():
+    assert units.fmt_bytes(512) == "512 B"
+    assert units.fmt_bytes(2048) == "2.00 KiB"
+    assert units.fmt_bytes(3 * units.MB) == "3.00 MiB"
+    assert units.fmt_bytes(1.5 * units.GB) == "1.50 GiB"

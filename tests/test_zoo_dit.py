@@ -1,0 +1,62 @@
+"""DiT (transformer-backbone) zoo model tests — the §7 extension."""
+
+import pytest
+
+from repro.cluster import single_node
+from repro.core import DiffusionPipePlanner, PlannerOptions
+from repro.models.zoo import dit_xl
+from repro.profiling import Profiler
+
+
+@pytest.fixture(scope="module")
+def dit():
+    return dit_xl()
+
+
+@pytest.fixture(scope="module")
+def dit_profile(dit):
+    return Profiler(single_node(8)).profile(dit)
+
+
+def test_dit_structure(dit):
+    assert dit.backbone_names == ("dit",)
+    assert {c.name for c in dit.non_trainable} == {"t5_encoder", "vae_encoder"}
+    assert dit.components["dit"].num_layers == 30
+    assert dit.components["t5_encoder"].num_layers == 26
+    # T5-XXL dominates the frozen parameter budget (~4.6 B params).
+    assert dit.components["t5_encoder"].param_bytes > 8e9
+
+
+def test_dit_uniform_blocks_partition_evenly(dit, dit_profile):
+    """28 uniform DiT blocks split near-evenly by the DP partitioner."""
+    cluster = single_node(8)
+    planner = DiffusionPipePlanner(
+        dit, cluster, dit_profile,
+        options=PlannerOptions(max_stages=2, micro_batch_counts=(2,),
+                               group_sizes=(2,), check_memory=False),
+    )
+    plan = planner.evaluate(64, 2, 2, 2).plan
+    sizes = [st.num_layers for st in plan.partition.down]
+    assert abs(sizes[0] - sizes[1]) <= 2
+
+
+def test_dit_bubble_filling_near_complete(dit, dit_profile):
+    """The heavy T5 frozen part nearly eliminates bubbles (§7's thesis)."""
+    cluster = single_node(8)
+    planner = DiffusionPipePlanner(
+        dit, cluster, dit_profile,
+        options=PlannerOptions(group_sizes=(2, 4, 8)),
+    )
+    ev = planner.plan(256)
+    assert ev.plan.bubble_ratio_unfilled > 0.10
+    assert ev.plan.bubble_ratio_filled < 0.03
+    assert ev.plan.memory is not None and ev.plan.memory.fits
+
+
+def test_dit_nt_share_between_sd_and_controlnet(dit, dit_profile):
+    nt = sum(
+        dit_profile.component_fwd_ms(c.name, 64) for c in dit.non_trainable
+    )
+    t = dit_profile.component_train_ms("dit", 64)
+    # SD is ~0.44, ControlNet ~0.89; DiT with T5-XXL sits between.
+    assert 0.5 < nt / t < 0.85

@@ -1,0 +1,130 @@
+"""Model-zoo structure and calibration tests."""
+
+import pytest
+
+from repro.cluster import a100_80gb
+from repro.models.zoo import (
+    cdm_imagenet,
+    cdm_lsun,
+    controlnet_v1_0,
+    stable_diffusion_v2_1,
+    timed_layer,
+    uniform_model,
+)
+from repro.models.zoo.calibration import (
+    flops_for_forward_time,
+    layer_forward_time_ms,
+    layers_from_time_weights,
+    total_forward_ms,
+    total_train_ms,
+)
+from repro.errors import ConfigurationError
+
+
+def test_sd_structure():
+    m = stable_diffusion_v2_1()
+    assert m.backbone_names == ("unet",)
+    assert {c.name for c in m.non_trainable} == {"text_encoder", "vae_encoder"}
+    assert m.self_conditioning
+    assert m.components["unet"].num_layers == 33
+    assert m.components["text_encoder"].num_layers == 23
+    assert m.components["vae_encoder"].num_layers == 19
+
+
+def test_sd_table1_calibration():
+    """The zoo reproduces Table 1 row 1 within 1.5 pp."""
+    dev = a100_80gb()
+    m = stable_diffusion_v2_1()
+    nt = [l for c in m.non_trainable for l in c.layers]
+    paper = {8: 0.38, 16: 0.41, 32: 0.43, 64: 0.44}
+    for b, expected in paper.items():
+        ratio = total_forward_ms(nt, b, dev) / total_train_ms(
+            m.components["unet"].layers, b, dev
+        )
+        assert abs(ratio - expected) < 0.015, (b, ratio)
+
+
+def test_controlnet_table1_calibration():
+    dev = a100_80gb()
+    m = controlnet_v1_0()
+    nt = [l for c in m.non_trainable for l in c.layers]
+    paper = {8: 0.76, 16: 0.81, 32: 0.86, 64: 0.89}
+    for b, expected in paper.items():
+        ratio = total_forward_ms(nt, b, dev) / total_train_ms(
+            m.components["control_branch"].layers, b, dev
+        )
+        assert abs(ratio - expected) < 0.025, (b, ratio)
+
+
+def test_controlnet_structure():
+    m = controlnet_v1_0()
+    assert m.components["hint_encoder"].depends_on == ("vae_encoder",)
+    nt_layers = sum(c.num_layers for c in m.non_trainable)
+    assert nt_layers == 65  # Fig. 5b's index range
+
+
+def test_sd_param_budget():
+    m = stable_diffusion_v2_1()
+    # ~865 M params in fp16.
+    assert m.components["unet"].param_bytes == pytest.approx(865e6 * 2)
+
+
+def test_cdm_models():
+    lsun = cdm_lsun()
+    assert lsun.backbone_names == ("base_64", "sr_128")
+    assert not lsun.self_conditioning
+    inet = cdm_imagenet()
+    assert inet.backbone_names == ("sr_128", "sr_256")
+    # Little non-trainable work (the class embedding only).
+    assert sum(c.num_layers for c in lsun.non_trainable) == 2
+
+
+def test_extra_long_layer_exists():
+    dev = a100_80gb()
+    m = stable_diffusion_v2_1()
+    times = [
+        layer_forward_time_ms(l, 64, dev)
+        for l in m.components["vae_encoder"].layers
+    ]
+    assert max(times) > 400.0
+
+
+def test_flops_inversion_roundtrip():
+    dev = a100_80gb()
+    flops = flops_for_forward_time(12.5, 32, dev, fixed_overhead_ms=0.1)
+    from repro.models import LayerSpec
+
+    layer = LayerSpec(name="x", flops_per_sample=flops, fixed_overhead_ms=0.1)
+    assert layer_forward_time_ms(layer, 32, dev) == pytest.approx(12.5)
+    with pytest.raises(ConfigurationError):
+        flops_for_forward_time(0.01, 32, dev, fixed_overhead_ms=0.1)
+
+
+def test_layers_from_time_weights_distribution():
+    dev = a100_80gb()
+    layers = layers_from_time_weights(
+        "x", [1.0, 3.0], 40.0, trainable=False, param_bytes_total=8e6,
+        output_bytes_per_sample=100, device=dev,
+    )
+    t0 = layer_forward_time_ms(layers[0], 64, dev)
+    t1 = layer_forward_time_ms(layers[1], 64, dev)
+    assert t0 + t1 == pytest.approx(40.0)
+    assert t1 == pytest.approx(30.0)
+    assert layers[0].param_bytes == pytest.approx(2e6)
+    with pytest.raises(ConfigurationError):
+        layers_from_time_weights(
+            "x", [], 10.0, trainable=False, param_bytes_total=1,
+            output_bytes_per_sample=1,
+        )
+
+
+def test_timed_layer_anchor_exact():
+    dev = a100_80gb()
+    l = timed_layer("t", 7.5, batch_size=16, device=dev)
+    assert layer_forward_time_ms(l, 16, dev) == pytest.approx(7.5)
+
+
+def test_uniform_model_shape():
+    m = uniform_model(backbone_layers=5, encoder_layers=3)
+    assert m.components["backbone"].num_layers == 5
+    assert m.components["encoder"].num_layers == 3

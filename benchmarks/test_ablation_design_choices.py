@@ -11,6 +11,10 @@ Not a paper artifact — these benches justify internal decisions:
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 import time
 from dataclasses import replace
 

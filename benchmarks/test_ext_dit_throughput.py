@@ -11,6 +11,10 @@ the pipeline baselines.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.baselines import (
     ChimeraBaseline,
     DataParallelBaseline,

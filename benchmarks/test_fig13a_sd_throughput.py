@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.harness import (
     SD_BATCHES,
     ThroughputSweep,

@@ -8,6 +8,10 @@ batch sizes where the data-parallel strategies go out of memory.
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.harness import (
     CDM_LSUN_BATCHES,
     CDMThroughputSweep,

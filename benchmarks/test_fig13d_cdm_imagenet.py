@@ -6,6 +6,10 @@ Same systems and shape expectations as Fig. 13c, with the larger
 
 from __future__ import annotations
 
+import pytest
+
+pytestmark = pytest.mark.slow
+
 from repro.harness import (
     CDM_IMAGENET_BATCHES,
     CDMThroughputSweep,

@@ -8,6 +8,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.harness import bubble_ratio_comparison, format_table, pct
 
 BATCHES = (256, 384)

@@ -12,6 +12,8 @@ from __future__ import annotations
 
 import pytest
 
+pytestmark = pytest.mark.slow
+
 from repro.harness import ablation_throughputs, format_table
 
 BATCHES = (256, 384)

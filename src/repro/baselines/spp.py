@@ -15,12 +15,22 @@ from ..cluster.topology import ClusterSpec
 from ..errors import ConfigurationError
 from ..models.graph import ModelSpec
 from ..profiling.records import ProfileDB
-from ..core.planner import DiffusionPipePlanner, EvaluatedConfig, PlannerOptions
+from ..core.planner import (
+    DiffusionPipePlanner,
+    EvaluatedConfig,
+    PlannerCaches,
+    PlannerOptions,
+)
 from .data_parallel import BaselineResult, _oom_result
 
 
 class SPPBaseline:
-    """Optimal pipeline planning without bubble filling."""
+    """Optimal pipeline planning without bubble filling.
+
+    ``caches`` may be the :class:`PlannerCaches` of a DiffusionPipe
+    planner evaluating the same model/profile — SPP's partitions are
+    identical, so sharing skips the whole DP search.
+    """
 
     name = "SPP"
 
@@ -30,6 +40,7 @@ class SPPBaseline:
         cluster: ClusterSpec,
         profile: ProfileDB,
         options: PlannerOptions | None = None,
+        caches: PlannerCaches | None = None,
     ):
         if len(model.backbone_names) != 1:
             raise ConfigurationError(
@@ -38,7 +49,7 @@ class SPPBaseline:
         base = options or PlannerOptions()
         self.options = replace(base, enable_bubble_filling=False)
         self.planner = DiffusionPipePlanner(
-            model, cluster, profile, options=self.options
+            model, cluster, profile, options=self.options, caches=caches
         )
         self.model = model
         self.cluster = cluster

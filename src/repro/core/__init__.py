@@ -37,7 +37,12 @@ from .plan import (
     PartitionPlan,
     StageAssignment,
 )
-from .planner import DiffusionPipePlanner, EvaluatedConfig, PlannerOptions
+from .planner import (
+    DiffusionPipePlanner,
+    EvaluatedConfig,
+    PlannerCaches,
+    PlannerOptions,
+)
 
 __all__ = [
     "DEFAULT_MIN_BUBBLE_MS",
@@ -73,5 +78,6 @@ __all__ = [
     "StageAssignment",
     "DiffusionPipePlanner",
     "EvaluatedConfig",
+    "PlannerCaches",
     "PlannerOptions",
 ]

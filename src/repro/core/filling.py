@@ -209,15 +209,19 @@ def fill_one_bubble(
     if not candidates:
         return BubbleFill(bubble_index, (), 0.0)
 
-    best_items: tuple[FillItem, ...] = ()
+    # Selection needs only candidate *times*; FillItems are materialised
+    # once, for the winner, after the scan.  ``best_partial`` describes
+    # the winning candidate's partial-batch augmentation (if any) as
+    # (ready index, layer, samples, time).
+    best_cand: _Candidate | None = None
+    best_partial: tuple[int, int, float, float] | None = None
     best_time = -1.0
     for cand in candidates:
-        base_items = _candidate_items(profile, ready, cand, d, bubble_index)
         base_time = cand.time_ms
-        # Augment with at most one partial-batch layer (line 2-6 of Alg. 1).
-        options: list[tuple[float, tuple[FillItem, ...]]] = [
-            (base_time, tuple(base_items))
+        options: list[tuple[float, tuple[int, int, float, float] | None]] = [
+            (base_time, None)
         ]
+        # Augment with at most one partial-batch layer (line 2-6 of Alg. 1).
         if enable_partial_batch:
             for h, comp in enumerate(ready):
                 layer = comp.next_layer + cand.counts[h]
@@ -234,21 +238,31 @@ def fill_one_bubble(
                         if chosen is None or samples > chosen[0]:
                             chosen = (samples, t)
                 if chosen is not None:
-                    item = FillItem(
-                        component=comp.name,
-                        layer=layer,
-                        samples=chosen[0],
-                        time_ms=chosen[1],
-                        bubble_index=bubble_index,
-                        partial=True,
+                    options.append(
+                        (base_time + chosen[1], (h, layer, chosen[0], chosen[1]))
                     )
-                    options.append((base_time + chosen[1], tuple(base_items) + (item,)))
-        for t, items in options:
+        for t, partial in options:
             if t > best_time + 1e-12:
                 best_time = t
-                best_items = items
+                best_cand = cand
+                best_partial = partial
 
-    return BubbleFill(bubble_index, best_items, max(best_time, 0.0))
+    if best_cand is None:  # pragma: no cover - candidates always include ()
+        return BubbleFill(bubble_index, (), 0.0)
+    items = _candidate_items(profile, ready, best_cand, d, bubble_index)
+    if best_partial is not None:
+        h, layer, samples, t = best_partial
+        items.append(
+            FillItem(
+                component=ready[h].name,
+                layer=layer,
+                samples=samples,
+                time_ms=t,
+                bubble_index=bubble_index,
+                partial=True,
+            )
+        )
+    return BubbleFill(bubble_index, tuple(items), max(best_time, 0.0))
 
 
 def _candidate_items(

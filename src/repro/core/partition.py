@@ -36,6 +36,8 @@ homogeneous replication as in the paper's evaluation (footnote 2).
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
+
 from ..cluster.collectives import CommCosts
 from ..errors import ConfigurationError, PartitionError
 from ..profiling.records import ProfileDB
@@ -166,8 +168,37 @@ def pareto_insert(
     """Insert ``candidate`` whose first ``value_dims`` entries are the
     objective coordinates; drop it (return False) if dominated, and prune
     points it dominates."""
+    if value_dims == 3:
+        # Hot path of the partition DP: unrolled comparisons (same
+        # dominance tests, no generator/zip overhead).
+        c0, c1, c2 = candidate[0], candidate[1], candidate[2]
+        keep: list[tuple] = []
+        for existing in frontier:
+            e0, e1, e2 = existing[0], existing[1], existing[2]
+            if e0 <= c0 and e1 <= c1 and e2 <= c2:
+                # existing dominates (or equals) the candidate
+                return False
+            if not (c0 <= e0 and c1 <= e1 and c2 <= e2):
+                keep.append(existing)
+            # else: candidate dominates `existing` -> drop it
+        keep.append(candidate)
+        frontier[:] = keep
+        return True
+    if value_dims == 2:
+        # Hot path of the bidirectional CDM DP.
+        c0, c1 = candidate[0], candidate[1]
+        keep = []
+        for existing in frontier:
+            e0, e1 = existing[0], existing[1]
+            if e0 <= c0 and e1 <= c1:
+                return False
+            if not (c0 <= e0 and c1 <= e1):
+                keep.append(existing)
+        keep.append(candidate)
+        frontier[:] = keep
+        return True
     cvals = candidate[:value_dims]
-    keep: list[tuple] = []
+    keep = []
     for existing in frontier:
         evals = existing[:value_dims]
         if all(e <= c for e, c in zip(evals, cvals)):
@@ -257,16 +288,41 @@ def _objective(
     return p * sc + (1.0 - p) * vanilla
 
 
-def _solve_chain(
-    ctx: PartitionContext, costs: StageCosts, L: int, S: int
-) -> tuple[list[tuple[int, int]], float, float, float, float]:
-    """Pareto DP over prefixes for a fixed replica count.
+#: per-ProfileDB memo of chain-DP histories.  The Pareto frontiers of
+#: ``_chain_frontiers`` depend only on (component, S, the stage-local
+#: batch size, the communication constants, the self-conditioning flag)
+#: — notably *not* on the micro-batch count M or the self-conditioning
+#: probability, which enter only the final objective selection.  Keyed
+#: weakly by the profile so sweeps sharing one DB (planner + SPP +
+#: ablation variants) share the expensive DP work, and caches die with
+#: the profile.
+_CHAIN_CACHE: "WeakKeyDictionary[ProfileDB, dict]" = WeakKeyDictionary()
 
-    Returns (stage slices, W, W_sc, Y, objective).
+
+def _chain_frontiers(
+    ctx: PartitionContext, costs: StageCosts, L: int, S: int
+) -> list[list[list[tuple]]]:
+    """The (memoized) Pareto-DP table of :func:`_solve_chain`.
+
+    ``history[s][l]`` is the frontier of (w, w_sc, y, cut, parent_index)
+    for prefixes of ``l`` layers in ``s`` stages; the first three values
+    are objective coordinates, cut/parent enable backtracking.  Entries
+    are immutable: callers must only read them.
     """
-    # frontier[l] for the current stage count: list of
-    # (w, w_sc, y, cut, parent_index) — the first three are objective
-    # coordinates, cut/parent enable backtracking.
+    db_cache = _CHAIN_CACHE.setdefault(ctx.profile, {})
+    key = (
+        ctx.component,
+        L,
+        S,
+        costs.local_batch,
+        ctx.p2p,
+        ctx.allreduce,
+        ctx.self_conditioning,
+    )
+    cached = db_cache.get(key)
+    if cached is not None:
+        return cached
+
     prev: list[list[tuple]] = [[] for _ in range(L + 1)]
     prev[0] = [(0.0, 0.0, float("-inf"), -1, -1)]
     history: list[list[list[tuple]]] = [prev]
@@ -298,7 +354,19 @@ def _solve_chain(
         history.append(cur)
         prev = cur
 
-    final = prev[L]
+    db_cache[key] = history
+    return history
+
+
+def _solve_chain(
+    ctx: PartitionContext, costs: StageCosts, L: int, S: int
+) -> tuple[list[tuple[int, int]], float, float, float, float]:
+    """Pareto DP over prefixes for a fixed replica count.
+
+    Returns (stage slices, W, W_sc, Y, objective).
+    """
+    history = _chain_frontiers(ctx, costs, L, S)
+    final = history[S][L]
     if not final:
         raise PartitionError(
             f"no feasible partition of {L} layers into {S} stages"

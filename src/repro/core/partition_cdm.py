@@ -24,6 +24,7 @@ whose stage chains are concatenated (§4.2's grouping rule); see
 from __future__ import annotations
 
 from dataclasses import dataclass
+from weakref import WeakKeyDictionary
 
 from ..errors import ConfigurationError, PartitionError
 from ..profiling.records import ProfileDB
@@ -32,6 +33,11 @@ from .plan import PartitionPlan, StageAssignment
 
 #: the paper enlarges communication by 2x for bidirectional pipelines
 CDM_COMM_SCALE = 2.0
+
+#: per-ProfileDB memo of CDM DP tables (see ``_cdm_frontiers``): like
+#: the single-backbone frontier cache, the table is independent of the
+#: micro-batch counts, which only scale the final objective selection.
+_CDM_CACHE: "WeakKeyDictionary[ProfileDB, dict]" = WeakKeyDictionary()
 
 
 @dataclass(frozen=True)
@@ -71,44 +77,47 @@ class _ScaledCosts(StageCosts):
         return super().boundary_comm_ms(lo, forwards) * self._comm_scale
 
 
-def partition_cdm(
+def _cdm_frontiers(
     ctx: CDMPartitionContext,
-    num_stages: int,
-    group_size: int,
+    S: int,
+    r: int,
     *,
-    cut_step: int = 1,
-    max_frontier: int = 8,
-) -> PartitionPlan:
-    """Optimal bidirectional partition of two backbones (Eqns. 13-16).
+    cut_step: int,
+    max_frontier: int,
+    ld: int,
+    lu: int,
+) -> list[dict[tuple[int, int], list[tuple]]]:
+    """The (memoized) CDM DP table.
 
-    Homogeneous replication (r = D / S) as in the paper's evaluation.
-
-    ``cut_step > 1`` restricts stage boundaries to multiples of the step
-    (chain ends always allowed), shrinking the O(L^2) transition space
-    for long backbones at negligible quality cost on near-uniform
-    chains.  ``max_frontier`` caps each state's Pareto set, keeping the
-    lowest-``W`` entries (frontiers are tiny in practice; the cap is a
-    worst-case guard).
+    ``frontiers[k][(a, b)]`` is the Pareto set of
+    (W, Y, prev_a, prev_b, parent_index) after placing ``k`` chain
+    positions with down prefix ``a`` and up suffix ``b`` assigned.
+    Entries are immutable: callers must only read them.  The table
+    depends on stage costs (local batches, comm constants, comm scale)
+    but not on the micro-batch counts.
     """
-    S = num_stages
-    D = group_size
-    if S <= 0 or D <= 0:
-        raise ConfigurationError("num_stages and group_size must be positive")
-    if cut_step <= 0:
-        raise ConfigurationError("cut_step must be positive")
-    if D % S != 0:
-        raise PartitionError(f"homogeneous replication needs S | D (S={S}, D={D})")
-    r = D // S
-
-    ld = ctx.down.profile.num_layers(ctx.down.component)
-    lu = ctx.up.profile.num_layers(ctx.up.component)
-    if S > ld or S > lu:
-        raise PartitionError(
-            f"cannot cut backbones of {ld}/{lu} layers into {S} stages"
-        )
-
+    cacheable = ctx.down.profile is ctx.up.profile
+    db_cache = _CDM_CACHE.setdefault(ctx.down.profile, {}) if cacheable else None
     down_costs = _ScaledCosts(ctx.down, r, ctx.comm_scale)
     up_costs = _ScaledCosts(ctx.up, r, ctx.comm_scale)
+    key = (
+        ctx.down.component,
+        ctx.up.component,
+        S,
+        down_costs.local_batch,
+        up_costs.local_batch,
+        ctx.down.p2p,
+        ctx.down.allreduce,
+        ctx.up.p2p,
+        ctx.up.allreduce,
+        ctx.comm_scale,
+        cut_step,
+        max_frontier,
+    )
+    if db_cache is not None:
+        cached = db_cache.get(key)
+        if cached is not None:
+            return cached
 
     def cut_points(n: int) -> list[int]:
         """Interior boundary positions allowed by ``cut_step``."""
@@ -161,8 +170,8 @@ def partition_cdm(
                     gu = gap_u[(u_lo, u_hi)]
                     w_stage = max(td, tu)
                     y_stage = max(gd, gu)
-                    key = (a, b)
-                    frontier = cur.setdefault(key, [])
+                    skey = (a, b)
+                    frontier = cur.setdefault(skey, [])
                     for pi, parent in enumerate(parents):
                         cand = (
                             max(parent[0], w_stage),
@@ -176,6 +185,51 @@ def partition_cdm(
                         frontier.sort(key=lambda e: (e[0], e[1]))
                         del frontier[max_frontier:]
         frontiers.append(cur)
+
+    if db_cache is not None:
+        db_cache[key] = frontiers
+    return frontiers
+
+
+def partition_cdm(
+    ctx: CDMPartitionContext,
+    num_stages: int,
+    group_size: int,
+    *,
+    cut_step: int = 1,
+    max_frontier: int = 8,
+) -> PartitionPlan:
+    """Optimal bidirectional partition of two backbones (Eqns. 13-16).
+
+    Homogeneous replication (r = D / S) as in the paper's evaluation.
+
+    ``cut_step > 1`` restricts stage boundaries to multiples of the step
+    (chain ends always allowed), shrinking the O(L^2) transition space
+    for long backbones at negligible quality cost on near-uniform
+    chains.  ``max_frontier`` caps each state's Pareto set, keeping the
+    lowest-``W`` entries (frontiers are tiny in practice; the cap is a
+    worst-case guard).
+    """
+    S = num_stages
+    D = group_size
+    if S <= 0 or D <= 0:
+        raise ConfigurationError("num_stages and group_size must be positive")
+    if cut_step <= 0:
+        raise ConfigurationError("cut_step must be positive")
+    if D % S != 0:
+        raise PartitionError(f"homogeneous replication needs S | D (S={S}, D={D})")
+    r = D // S
+
+    ld = ctx.down.profile.num_layers(ctx.down.component)
+    lu = ctx.up.profile.num_layers(ctx.up.component)
+    if S > ld or S > lu:
+        raise PartitionError(
+            f"cannot cut backbones of {ld}/{lu} layers into {S} stages"
+        )
+
+    frontiers = _cdm_frontiers(
+        ctx, S, r, cut_step=cut_step, max_frontier=max_frontier, ld=ld, lu=lu
+    )
 
     final = frontiers[S].get((ld, lu), [])
     if not final:

@@ -17,7 +17,7 @@ and finally returns the configuration with the highest throughput.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, replace
+from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
 from ..cluster.collectives import CollectiveModel, CommCosts
@@ -73,6 +73,40 @@ class EvaluatedConfig:
     timeline_sc: Timeline | None = None
 
 
+@dataclass
+class PlannerCaches:
+    """Shared memoisation store for planner sweeps.
+
+    One instance may be shared by several planners (e.g. DiffusionPipe +
+    SPP in a throughput sweep, or the Fig. 15 ablation variants) as long
+    as they evaluate the *same model and profile*: cache keys include
+    the full :class:`ClusterSpec` (a frozen value type), so planners on
+    different topologies never alias each other's entries.
+
+    ``partition`` maps (cluster, batch_per_group, D, S, M, ...) to the
+    partitioner's output (or the PartitionError it raised); ``comm``
+    memoises the per-(D, r) communication constants.
+    """
+
+    partition: dict = field(default_factory=dict)
+    comm: dict = field(default_factory=dict)
+
+
+#: global memo of simulated pipeline timelines.  The key captures every
+#: input of the task-graph build (stage execs, micro-batch count,
+#: self-conditioning flag, feedback time, device weights), so identical
+#: configurations reached from different planners/batches share one
+#: simulation.  Bounded to keep long-lived processes in check.
+_TIMELINE_CACHE: dict[tuple, Timeline] = {}
+_TIMELINE_CACHE_MAX = 8192
+
+
+def _cache_timeline(key: tuple, timeline: Timeline) -> None:
+    if len(_TIMELINE_CACHE) >= _TIMELINE_CACHE_MAX:
+        _TIMELINE_CACHE.clear()
+    _TIMELINE_CACHE[key] = timeline
+
+
 class DiffusionPipePlanner:
     """Front-end entry point.
 
@@ -93,12 +127,17 @@ class DiffusionPipePlanner:
         cluster: ClusterSpec,
         profile: ProfileDB | None = None,
         options: PlannerOptions | None = None,
+        caches: PlannerCaches | None = None,
     ):
         self.model = model
         self.cluster = cluster
         self.profile = profile or Profiler(cluster).profile(model)
         self.options = options or PlannerOptions()
         self.collectives = CollectiveModel(cluster)
+        self.caches = caches if caches is not None else PlannerCaches()
+        #: per-instance memo of _simulate_and_fill outcomes (filling
+        #: depends on this planner's options, so it cannot be shared)
+        self._eval_cache: dict[tuple, tuple] = {}
         if len(model.backbone_names) > 2:
             raise ConfigurationError(
                 "the planner handles one or two backbones; group larger "
@@ -139,8 +178,13 @@ class DiffusionPipePlanner:
 
         Groups that fit in a machine use NVSwitch, larger groups EFA.
         """
-        link = self.cluster.group_link(list(range(group_size)))
-        return CommCosts(bandwidth=link.bandwidth, latency=link.latency)
+        key = ("p2p", self.cluster, group_size)
+        costs = self.caches.comm.get(key)
+        if costs is None:
+            link = self.cluster.group_link(list(range(group_size)))
+            costs = CommCosts(bandwidth=link.bandwidth, latency=link.latency)
+            self.caches.comm[key] = costs
+        return costs
 
     def _allreduce_costs(self, group_size: int, stage_replicas: int) -> CommCosts:
         """R/L of a stage's gradient all-reduce.
@@ -149,11 +193,18 @@ class DiffusionPipePlanner:
         and its copies across the ``world/D`` data-parallel groups
         (Fig. 8's layout: groups are contiguous rank blocks).
         """
-        dp = self.cluster.world_size // group_size
-        ranks = [
-            g * group_size + j for g in range(dp) for j in range(stage_replicas)
-        ]
-        return self.collectives.allreduce_costs(ranks)
+        key = ("ar", self.cluster, group_size, stage_replicas)
+        costs = self.caches.comm.get(key)
+        if costs is None:
+            dp = self.cluster.world_size // group_size
+            ranks = [
+                g * group_size + j
+                for g in range(dp)
+                for j in range(stage_replicas)
+            ]
+            costs = self.collectives.allreduce_costs(ranks)
+            self.caches.comm[key] = costs
+        return costs
 
     # -- evaluation of one configuration ----------------------------------------------
 
@@ -273,6 +324,40 @@ class DiffusionPipePlanner:
     def _partition(
         self, batch_per_group: float, D: int, S: int, M: int
     ) -> PartitionPlan:
+        key = (
+            self.cluster,
+            batch_per_group,
+            D,
+            S,
+            M,
+            self.model.self_conditioning,
+            self.model.self_conditioning_prob,
+            self.model.backbone_names,
+            self.options.heterogeneous_replication,
+            self.options.cdm_cut_step,
+        )
+        hit = self.caches.partition.get(key)
+        if hit is not None:
+            if isinstance(hit, PartitionError):
+                # Raise a fresh instance: re-raising the cached one would
+                # keep appending propagation frames to its __traceback__,
+                # pinning frames for the cache's lifetime.
+                raise PartitionError(*hit.args)
+            return hit
+        try:
+            plan = self._partition_uncached(batch_per_group, D, S, M)
+        except PartitionError as err:
+            # Store a stripped copy: caching the live exception would pin
+            # its __traceback__ (and every frame's locals) for the
+            # cache's lifetime.
+            self.caches.partition[key] = PartitionError(*err.args)
+            raise
+        self.caches.partition[key] = plan
+        return plan
+
+    def _partition_uncached(
+        self, batch_per_group: float, D: int, S: int, M: int
+    ) -> PartitionPlan:
         p2p = self._p2p_costs(D)
         r = D // S if D % S == 0 else 1
         ar = self._allreduce_costs(D, r)
@@ -364,23 +449,65 @@ class DiffusionPipePlanner:
         sc: bool,
         nt_total: float,
     ):
+        eval_key = (
+            partition.down,
+            partition.up,
+            partition.num_micro_batches,
+            partition.group_size,
+            batch_per_group,
+            sc,
+            nt_total,
+            self.cluster.world_size,
+        )
+        hit = self._eval_cache.get(eval_key)
+        if hit is not None:
+            return hit
+        result = self._simulate_and_fill_uncached(
+            partition, batch_per_group, sc=sc, nt_total=nt_total
+        )
+        self._eval_cache[eval_key] = result
+        return result
+
+    def _simulate_and_fill_uncached(
+        self,
+        partition: PartitionPlan,
+        batch_per_group: float,
+        *,
+        sc: bool,
+        nt_total: float,
+    ):
         micro = partition.micro_batch
         M = partition.num_micro_batches
+        S = partition.num_stages
+        weights = {i: partition.down[i].replicas for i in range(S)}
         if partition.is_bidirectional:
             down = self._stage_execs(partition.down, micro, sc=False)
             up = self._stage_execs(partition.up, micro, sc=False)
-            tasks = build_bidirectional(down, up, M, M)
+            tl_key = ("bi", tuple(down), tuple(up), M, S, tuple(sorted(weights.items())))
+            timeline = _TIMELINE_CACHE.get(tl_key)
+            if timeline is None:
+                tasks = build_bidirectional(down, up, M, M)
+                timeline = simulate(tasks, S, weights)
+                _cache_timeline(tl_key, timeline)
         else:
             stages = self._stage_execs(partition.down, micro, sc=sc)
-            tasks = build_1f1b(
-                stages,
+            feedback = self._feedback_ms(partition.down, micro) if sc else 0.0
+            tl_key = (
+                "1f1b",
+                tuple(stages),
                 M,
-                self_conditioning=sc,
-                feedback_ms=self._feedback_ms(partition.down, micro) if sc else 0.0,
+                sc,
+                feedback,
+                S,
+                tuple(sorted(weights.items())),
             )
-        S = partition.num_stages
-        weights = {i: partition.down[i].replicas for i in range(S)}
-        timeline = simulate(tasks, S, weights)
+            timeline = _TIMELINE_CACHE.get(tl_key)
+            if timeline is None:
+                tasks = build_1f1b(
+                    stages, M, self_conditioning=sc, feedback_ms=feedback
+                )
+                timeline = simulate(tasks, S, weights)
+                _cache_timeline(tl_key, timeline)
 
         fill: FillReport | None = None
         if self.options.enable_bubble_filling:

@@ -10,7 +10,7 @@ from dataclasses import dataclass, replace
 from typing import Mapping, Sequence
 
 from ..cluster.topology import ClusterSpec
-from ..core.planner import DiffusionPipePlanner, PlannerOptions
+from ..core.planner import DiffusionPipePlanner, PlannerCaches, PlannerOptions
 from ..errors import ConfigurationError
 from ..models.graph import ModelSpec
 from ..profiling.records import ProfileDB
@@ -199,8 +199,10 @@ def bubble_ratio_comparison(
     options = options or PlannerOptions(
         max_stages=4, micro_batch_counts=(1, 2, 3, 4, 6, 8), group_sizes=(2, 4, 8)
     )
-    planner = DiffusionPipePlanner(model, cluster, profile, options=options)
-    spp = SPPBaseline(model, cluster, profile, options=options)
+    caches = PlannerCaches()
+    planner = DiffusionPipePlanner(model, cluster, profile, options=options,
+                                   caches=caches)
+    spp = SPPBaseline(model, cluster, profile, options=options, caches=caches)
     gpipe = GPipeBaseline(model, cluster, profile)
     out: dict[str, dict[int, float]] = {
         "DiffusionPipe": {}, "GPipe": {}, "SPP": {},
@@ -232,9 +234,14 @@ def ablation_throughputs(
         "Partial-batch disabled": replace(base, enable_partial_batch=False),
         "Bubble filling disabled": replace(base, enable_bubble_filling=False),
     }
+    # The variants differ only in filling options, so they share every
+    # partition (and, via the planner's global timeline memo, every
+    # simulated schedule).
+    caches = PlannerCaches()
     out: dict[str, dict[int, float]] = {}
     for name, opts in variants.items():
-        planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
+        planner = DiffusionPipePlanner(model, cluster, profile, options=opts,
+                                       caches=caches)
         out[name] = {}
         for b in batches:
             try:

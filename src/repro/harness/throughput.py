@@ -22,7 +22,7 @@ from ..baselines import (
     Zero3Baseline,
 )
 from ..cluster.topology import ClusterSpec, p4de_cluster
-from ..core.planner import DiffusionPipePlanner, PlannerOptions
+from ..core.planner import DiffusionPipePlanner, PlannerCaches, PlannerOptions
 from ..errors import ConfigurationError, ReproError
 from ..models.graph import ModelSpec
 from ..profiling.profiler import Profiler
@@ -95,6 +95,11 @@ class ThroughputSweep:
         self.planner_options = planner_options
         # Layer profiles depend only on the device model, not the scale.
         self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
+        # One memo store for the whole sweep: at each scale the planner
+        # and the SPP baseline reuse each other's partitions and comm
+        # costs (cache keys include the full ClusterSpec, so entries
+        # from different scales never alias).
+        self.caches = PlannerCaches()
 
     def _cluster(self, machines: int) -> ClusterSpec:
         return p4de_cluster(machines)
@@ -106,10 +111,12 @@ class ThroughputSweep:
             cluster = self._cluster(machines)
             gpus = cluster.world_size
             planner = DiffusionPipePlanner(
-                self.model, cluster, self.profile, options=self.planner_options
+                self.model, cluster, self.profile, options=self.planner_options,
+                caches=self.caches,
             )
             spp = SPPBaseline(
-                self.model, cluster, self.profile, options=self.planner_options
+                self.model, cluster, self.profile, options=self.planner_options,
+                caches=self.caches,
             )
             gpipe = GPipeBaseline(self.model, cluster, self.profile)
             ddp = DataParallelBaseline(self.model, cluster, self.profile)
@@ -155,6 +162,7 @@ class CDMThroughputSweep:
         self.batches = dict(batches or CDM_LSUN_BATCHES)
         self.planner_options = planner_options
         self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
+        self.caches = PlannerCaches()
 
     def run(self) -> list[SweepCell]:
         cells: list[SweepCell] = []
@@ -162,7 +170,8 @@ class CDMThroughputSweep:
             cluster = p4de_cluster(machines)
             gpus = cluster.world_size
             planner = DiffusionPipePlanner(
-                self.model, cluster, self.profile, options=self.planner_options
+                self.model, cluster, self.profile, options=self.planner_options,
+                caches=self.caches,
             )
             engines = [
                 SequentialCDMBaseline(self.model, cluster, self.profile,

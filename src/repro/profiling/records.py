@@ -39,6 +39,14 @@ class LayerProfile:
     trainable: bool
 
     def __post_init__(self) -> None:
+        # Per-batch interpolation caches.  The planner's sweeps evaluate
+        # the same (layer, batch) points thousands of times; caching the
+        # exact interpolated value keeps results bit-identical while
+        # removing the repeated bisect + arithmetic.  The dataclass is
+        # frozen, hence object.__setattr__; the caches are not fields so
+        # equality/hash semantics are unchanged.
+        object.__setattr__(self, "_fwd_cache", {})
+        object.__setattr__(self, "_bwd_cache", {})
         if not self.batches:
             raise ProfileError(
                 f"{self.component}[{self.layer_index}]: empty batch grid"
@@ -80,14 +88,24 @@ class LayerProfile:
         return max(t, 0.0)
 
     def forward_ms(self, batch: float) -> float:
-        """Forward time at a batch size (interpolated)."""
-        return self._interp(self.fwd_ms, batch)
+        """Forward time at a batch size (interpolated, cached)."""
+        cache: dict = self._fwd_cache  # type: ignore[attr-defined]
+        t = cache.get(batch)
+        if t is None:
+            t = self._interp(self.fwd_ms, batch)
+            cache[batch] = t
+        return t
 
     def backward_ms(self, batch: float) -> float:
         """Backward time at a batch size (0 for frozen layers)."""
         if not self.trainable:
             return 0.0
-        return self._interp(self.bwd_ms, batch)
+        cache: dict = self._bwd_cache  # type: ignore[attr-defined]
+        t = cache.get(batch)
+        if t is None:
+            t = self._interp(self.bwd_ms, batch)
+            cache[batch] = t
+        return t
 
     def train_ms(self, batch: float) -> float:
         """Forward + backward time at a batch size."""
@@ -108,6 +126,12 @@ class ProfileDB:
     def __init__(self, profiles: Iterable[LayerProfile]):
         self._by_key: dict[tuple[str, int], LayerProfile] = {}
         self._component_sizes: dict[str, int] = {}
+        # Memo of stage-aggregate queries, keyed by
+        # (query kind, component, lo, hi, batch).  The DB is immutable
+        # after construction, so cached sums stay valid; sums are
+        # computed exactly as before (same accumulation order), keeping
+        # results bit-identical with the uncached path.
+        self._stage_cache: dict[tuple, float] = {}
         for p in profiles:
             key = (p.component, p.layer_index)
             if key in self._by_key:
@@ -164,13 +188,23 @@ class ProfileDB:
 
     def stage_fwd_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
         """Sum of forward times of layers ``[lo, hi)``."""
-        self._check_range(component, lo, hi)
-        return sum(self.fwd_ms(component, i, batch) for i in range(lo, hi))
+        key = ("f", component, lo, hi, batch)
+        t = self._stage_cache.get(key)
+        if t is None:
+            self._check_range(component, lo, hi)
+            t = sum(self.fwd_ms(component, i, batch) for i in range(lo, hi))
+            self._stage_cache[key] = t
+        return t
 
     def stage_bwd_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
         """Sum of backward times of layers ``[lo, hi)``."""
-        self._check_range(component, lo, hi)
-        return sum(self.bwd_ms(component, i, batch) for i in range(lo, hi))
+        key = ("b", component, lo, hi, batch)
+        t = self._stage_cache.get(key)
+        if t is None:
+            self._check_range(component, lo, hi)
+            t = sum(self.bwd_ms(component, i, batch) for i in range(lo, hi))
+            self._stage_cache[key] = t
+        return t
 
     def stage_train_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
         """Sum of forward+backward times of layers ``[lo, hi)``."""
@@ -185,8 +219,13 @@ class ProfileDB:
 
     def stage_grad_bytes(self, component: str, lo: int, hi: int) -> float:
         """Gradient bytes of layers ``[lo, hi)`` (the ``G`` of Eqn. 4)."""
-        self._check_range(component, lo, hi)
-        return sum(self.layer(component, i).grad_bytes for i in range(lo, hi))
+        key = ("g", component, lo, hi)
+        t = self._stage_cache.get(key)
+        if t is None:
+            self._check_range(component, lo, hi)
+            t = sum(self.layer(component, i).grad_bytes for i in range(lo, hi))
+            self._stage_cache[key] = t
+        return t
 
     def boundary_bytes(self, component: str, index: int, batch: float) -> float:
         """Activation bytes crossing the cut after layer ``index``

@@ -3,7 +3,7 @@
 from .bidirectional import BIDIRECTIONAL_COMM_SCALE, build_bidirectional
 from .gpipe import build_gpipe
 from .onef1b import build_1f1b
-from .simulator import simulate
+from .simulator import simulate, simulate_reference
 from .stages import StageExec, validate_stages
 from .tasks import (
     COMPUTE_KINDS,
@@ -22,6 +22,7 @@ __all__ = [
     "build_gpipe",
     "build_1f1b",
     "simulate",
+    "simulate_reference",
     "StageExec",
     "validate_stages",
     "COMPUTE_KINDS",

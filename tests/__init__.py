@@ -1,0 +1,6 @@
+"""Test package marker.
+
+Making ``tests`` a package lets pytest import test modules as
+``tests.<module>`` so the relative ``from .conftest import ...`` helper
+imports resolve regardless of how pytest is invoked.
+"""

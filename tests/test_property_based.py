@@ -19,7 +19,14 @@ from repro.core.partition import pareto_insert
 from repro.engine import SGD, PipelineTrainer, SingleDeviceTrainer, clone_chain, mlp_chain
 from repro.engine.equivalence import max_param_diff
 from repro.profiling import ProfileDB
-from repro.schedule import StageExec, build_1f1b, build_gpipe, simulate
+from repro.schedule import (
+    StageExec,
+    Task,
+    build_1f1b,
+    build_gpipe,
+    simulate,
+    simulate_reference,
+)
 
 FAST = CommCosts(bandwidth=6e8, latency=0.005)
 
@@ -65,6 +72,48 @@ def test_gpipe_never_faster_than_critical_path(times, M):
     f_total = sum(f for f, _ in times)
     b_total = sum(b for _, b in times)
     assert tl.makespan >= f_total + b_total - 1e-9
+
+
+@st.composite
+def task_graphs(draw):
+    """Random DAGs: arbitrary resources, priorities, fan-in, zero durations."""
+    n = draw(st.integers(min_value=1, max_value=24))
+    tasks = []
+    for i in range(n):
+        dep_pool = list(range(i))
+        deps = draw(
+            st.lists(st.sampled_from(dep_pool), max_size=min(3, i), unique=True)
+        ) if dep_pool else []
+        tasks.append(
+            Task(
+                task_id=f"t{i}",
+                resource=f"r{draw(st.integers(min_value=0, max_value=3))}",
+                duration=draw(
+                    st.one_of(
+                        st.just(0.0),
+                        st.floats(min_value=0.1, max_value=20.0),
+                    )
+                ),
+                deps=tuple(f"t{j}" for j in deps),
+                priority=(
+                    draw(st.integers(min_value=0, max_value=2)),
+                    draw(st.integers(min_value=0, max_value=2)),
+                ),
+            )
+        )
+    return tasks
+
+
+@given(task_graphs())
+@settings(max_examples=60, deadline=None)
+def test_event_engine_matches_reference_on_random_dags(tasks):
+    """The event-driven engine and the reference list scheduler commit
+    identical intervals on arbitrary task graphs."""
+    fast = simulate(tasks, 1)
+    ref = simulate_reference(tasks, 1)
+    assert [
+        (iv.start, iv.end, iv.task.task_id) for iv in fast.intervals
+    ] == [(iv.start, iv.end, iv.task.task_id) for iv in ref.intervals]
 
 
 @given(stage_times, st.integers(min_value=1, max_value=5))

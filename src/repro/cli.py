@@ -84,7 +84,11 @@ def cmd_plan(args: argparse.Namespace) -> int:
         model,
         cluster,
         profile,
-        options=PlannerOptions(group_sizes=(2, 4, 8), keep_timeline=True),
+        options=PlannerOptions(
+            group_sizes=(2, 4, 8),
+            keep_timeline=True,
+            heterogeneous_replication=args.heterogeneous,
+        ),
     )
     try:
         ev = planner.plan(args.batch)
@@ -128,7 +132,10 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     model = _build_model(args.model, args.self_conditioning)
     cluster = p4de_cluster(max(args.gpus // 8, 1))
     profile = Profiler(cluster).profile(model)
-    opts = PlannerOptions(group_sizes=(2, 4, 8))
+    opts = PlannerOptions(
+        group_sizes=(2, 4, 8),
+        heterogeneous_replication=args.heterogeneous,
+    )
     planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
     engines = []
     if len(model.backbone_names) == 1:
@@ -212,6 +219,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--gpus", type=int, default=8)
     p.add_argument("--batch", type=int, default=256)
     p.add_argument("--self-conditioning", action="store_true", default=None)
+    p.add_argument("--heterogeneous", action="store_true",
+                   help="allow per-stage replica counts (non-divisible S, D); "
+                        "single-backbone models only — ignored for cdm-* "
+                        "(the bidirectional partitioner is uniform-replica)")
     p.add_argument("--out", help="write the plan JSON here")
     p.add_argument("--trace", help="write a chrome trace here")
     p.set_defaults(func=cmd_plan)
@@ -222,6 +233,10 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batches", type=int, nargs="+",
                    default=[64, 128, 256, 384])
     p.add_argument("--self-conditioning", action="store_true", default=None)
+    p.add_argument("--heterogeneous", action="store_true",
+                   help="allow per-stage replica counts (non-divisible S, D); "
+                        "single-backbone models only — ignored for cdm-* "
+                        "(the bidirectional partitioner is uniform-replica)")
     p.set_defaults(func=cmd_sweep)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(func=cmd_table1)

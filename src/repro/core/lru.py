@@ -1,0 +1,29 @@
+"""Tiny bounded-LRU helpers for the planner/partitioner memo caches.
+
+All the memo stores in this package (DP Pareto tables, partition plans,
+simulate-and-fill results, timelines) follow the same policy: move an
+entry to the back on hit, evict the least recently used on insert at
+capacity.  One implementation here keeps the copies from drifting.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+
+def lru_get(cache: OrderedDict, key):
+    """Return ``cache[key]`` (refreshing its recency) or None."""
+    value = cache.get(key)
+    if value is not None:
+        cache.move_to_end(key)
+    return value
+
+
+def lru_put(cache: OrderedDict, key, value, max_entries: int) -> None:
+    """Insert ``key -> value``, evicting the oldest entries at capacity."""
+    if key in cache:
+        cache.move_to_end(key)
+    else:
+        while len(cache) >= max_entries:
+            cache.popitem(last=False)
+    cache[key] = value

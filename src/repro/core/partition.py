@@ -35,12 +35,14 @@ homogeneous replication as in the paper's evaluation (footnote 2).
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from weakref import WeakKeyDictionary
 
 from ..cluster.collectives import CommCosts
 from ..errors import ConfigurationError, PartitionError
 from ..profiling.records import ProfileDB
+from .lru import lru_get, lru_put
 from .plan import PartitionPlan, StageAssignment
 
 
@@ -249,6 +251,16 @@ def partition_backbone(
             "use heterogeneous=True otherwise"
         )
     r = D // S
+    if ctx.micro_batch < r:
+        # Same per-replica sample floor the heterogeneous DP enforces
+        # (r_cap): a stage replica must see at least one sample per
+        # micro-batch.  Keeping both paths consistent preserves the
+        # invariant that the heterogeneous DP (which can always pick
+        # uniform r = D/S) never does worse than this path.
+        raise PartitionError(
+            f"uniform replication r={r} needs at least {r} samples per "
+            f"micro-batch (got {ctx.micro_batch:g})"
+        )
     costs = StageCosts(ctx, r)
     plan_stages, w, w_sc, y, obj = _solve_chain(ctx, costs, L, S)
     stages = tuple(
@@ -295,8 +307,12 @@ def _objective(
 #: probability, which enter only the final objective selection.  Keyed
 #: weakly by the profile so sweeps sharing one DB (planner + SPP +
 #: ablation variants) share the expensive DP work, and caches die with
-#: the profile.
-_CHAIN_CACHE: "WeakKeyDictionary[ProfileDB, dict]" = WeakKeyDictionary()
+#: the profile.  The per-profile dict is a bounded LRU like
+#: ``_HET_CACHE``'s: the stage-local batch key is a continuous float,
+#: so a long-lived service sweeping arbitrary batches must not
+#: accumulate O(S * L) histories without bound.
+_CHAIN_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
+_CHAIN_CACHE_MAX_TABLES = 1024
 
 
 def _chain_frontiers(
@@ -309,7 +325,9 @@ def _chain_frontiers(
     are objective coordinates, cut/parent enable backtracking.  Entries
     are immutable: callers must only read them.
     """
-    db_cache = _CHAIN_CACHE.setdefault(ctx.profile, {})
+    db_cache = _CHAIN_CACHE.get(ctx.profile)
+    if db_cache is None:
+        db_cache = _CHAIN_CACHE.setdefault(ctx.profile, OrderedDict())
     key = (
         ctx.component,
         L,
@@ -319,7 +337,7 @@ def _chain_frontiers(
         ctx.allreduce,
         ctx.self_conditioning,
     )
-    cached = db_cache.get(key)
+    cached = lru_get(db_cache, key)
     if cached is not None:
         return cached
 
@@ -354,7 +372,7 @@ def _chain_frontiers(
         history.append(cur)
         prev = cur
 
-    db_cache[key] = history
+    lru_put(db_cache, key, history, _CHAIN_CACHE_MAX_TABLES)
     return history
 
 
@@ -380,46 +398,140 @@ def _solve_chain(
 
     # Backtrack the cut positions.
     cuts: list[int] = []
-    l, entry = L, best
+    entry = best
     for s in range(S, 0, -1):
         c = entry[3]
         cuts.append(c)
         entry = history[s - 1][c][entry[4]]
-        l = c
     cuts.reverse()
     slices = [(cuts[i], cuts[i + 1] if i + 1 < S else L) for i in range(S)]
     return slices, best[0], best[1], best[2], obj
 
 
-def _partition_heterogeneous(
-    ctx: PartitionContext, S: int, D: int
-) -> PartitionPlan:
-    """General DP with per-stage replica counts (Eqns. 7-9).
+class _LazyStageCosts:
+    """On-demand :class:`StageCosts` per replica count.
 
-    State: (layers consumed, stages used, devices consumed) -> Pareto
-    frontier of (W, W_sc, Y) with backtracking info (cut, replicas,
-    parent index).  Stage costs depend on the stage's own replica count,
-    so a :class:`StageCosts` is built per candidate ``r``.
+    The heterogeneous DP only ever touches replica counts that some
+    feasible assignment can use (``r <= D - S + 1``); building the
+    O(L) prefix sums for the rest — as the eager ``costs_by_r`` dict
+    used to — is pure waste.
     """
-    L = ctx.profile.num_layers(ctx.component)
-    costs_by_r = {r: StageCosts(ctx, r) for r in range(1, D + 1)}
+
+    def __init__(self, ctx: PartitionContext):
+        self._ctx = ctx
+        self._by_r: dict[int, StageCosts] = {}
+
+    def __call__(self, r: int) -> StageCosts:
+        costs = self._by_r.get(r)
+        if costs is None:
+            costs = self._by_r[r] = StageCosts(self._ctx, r)
+        return costs
+
+
+#: per-ProfileDB memo of heterogeneous-DP histories, mirroring
+#: ``_CHAIN_CACHE``.  The ``(layers, stages, devices)`` Pareto tables of
+#: :func:`_het_frontiers` depend only on (component, L, S, D, the
+#: per-group micro-batch size, the communication constants, the
+#: self-conditioning flag) — not on the micro-batch *count* M or the
+#: self-conditioning probability, which enter only the final objective
+#: selection.  Sweeps sharing one DB (planner + SPP + ablation variants
+#: via :class:`~repro.core.planner.PlannerCaches`) therefore share the
+#: expensive DP work, and the tables die with the profile.  The
+#: per-profile dict is itself a bounded LRU: each entry pins an
+#: O(S * D * L) Pareto history, so a long-lived service planning
+#: arbitrary batch sizes must not accumulate tables without bound.
+_HET_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
+_HET_CACHE_MAX_TABLES = 256
+
+
+def _het_frontiers(
+    ctx: PartitionContext, L: int, S: int, D: int
+) -> tuple[list[dict[tuple[int, int], list[tuple]]], dict[int, float]]:
+    """The (memoized) Pareto-DP table of :func:`_partition_heterogeneous`.
+
+    Returns ``(history, tf_by_r)``.  ``history[s][(l, d)]`` is the
+    frontier of ``(w, w_sc, y, cut, replicas, parent_index)`` for
+    prefixes of ``l`` layers on ``d`` devices in ``s`` stages — except
+    the last stage, whose buckets are keyed ``(l, d, r)`` so that the
+    r-dependent feedback term cannot be pruned away by (w, w_sc, y)
+    dominance.  Entries are immutable and callers must only read them.
+    ``tf_by_r`` maps every last-stage replica count to its feedback time
+    ``T_F`` (empty without self-conditioning); it is computed with the
+    table — while the per-``r`` ``StageCosts`` are warm — and cached
+    alongside it, so neither cold nor hit paths rebuild O(L) prefix sums
+    for the final selection.
+    """
+    db_cache = _HET_CACHE.get(ctx.profile)
+    if db_cache is None:
+        db_cache = _HET_CACHE.setdefault(ctx.profile, OrderedDict())
+    key = (
+        ctx.component,
+        L,
+        S,
+        D,
+        ctx.micro_batch,
+        ctx.p2p,
+        ctx.allreduce,
+        ctx.self_conditioning,
+    )
+    cached = lru_get(db_cache, key)
+    if cached is not None:
+        return cached
+
+    costs_for = _LazyStageCosts(ctx)
+    #: per-(r, lo, hi) segment costs — distinct parent states reach the
+    #: same stage slice, so the interpolation work is shared.
+    seg: dict[tuple[int, int, int], tuple[float, float, float]] = {}
+    # Physical feasibility: every stage replica must see at least one
+    # sample per micro-batch (the homogeneous sweep enforces the same
+    # floor via its r = D/S guard).  Larger r always lowers a stage's
+    # modeled compute, so without this cap the DP would happily pick
+    # unrunnable sub-sample local batches.
+    r_cap = int(ctx.micro_batch)
 
     # history[s][(l, d)] -> frontier entries (w, w_sc, y, cut, r, parent)
-    empty: dict[tuple[int, int], list[tuple]] = {}
     history: list[dict[tuple[int, int], list[tuple]]] = [
         {(0, 0): [(0.0, 0.0, float("-inf"), -1, 0, -1)]}
     ]
     for s in range(1, S + 1):
         cur: dict[tuple[int, int], list[tuple]] = {}
+        stages_left = S - s
         for (pl, pd), parents in history[s - 1].items():
-            for l in range(pl + 1, L - (S - s) + 1):
-                for r in range(1, D - pd - (S - s) + 1):
-                    costs = costs_by_r[r]
-                    t0 = costs.t0(pl, l)
-                    t0_sc = costs.t0_sc(pl, l) if ctx.self_conditioning else t0
-                    gap = costs.sync_gap(pl, l)
-                    key = (l, pd + r)
-                    frontier = cur.setdefault(key, [])
+            # Device-count pruning: every remaining stage needs at least
+            # one device, so replica counts beyond ``D - pd -
+            # stages_left`` lead to unreachable states and are never
+            # generated (nor their StageCosts built).
+            max_r = min(D - pd - stages_left, r_cap)
+            if max_r <= 0:
+                continue
+            if stages_left:
+                # Leave at least one layer per remaining stage.
+                l_values = range(pl + 1, L - stages_left + 1)
+            else:
+                # Last stage: only the full-chain prefix can become a
+                # feasible plan; partial prefixes are dead states.
+                l_values = (L,)
+            for l in l_values:
+                for r in range(1, max_r + 1):
+                    seg_key = (r, pl, l)
+                    vals = seg.get(seg_key)
+                    if vals is None:
+                        costs = costs_for(r)
+                        t0 = costs.t0(pl, l)
+                        t0_sc = (
+                            costs.t0_sc(pl, l) if ctx.self_conditioning else t0
+                        )
+                        gap = costs.sync_gap(pl, l)
+                        vals = seg[seg_key] = (t0, t0_sc, gap)
+                    t0, t0_sc, gap = vals
+                    # Last-stage buckets are additionally keyed by the
+                    # stage's own replica count: the feedback term T_F
+                    # (§4.3) depends on the *last* stage's r, so entries
+                    # that differ only there are incomparable under the
+                    # (w, w_sc, y) dominance test and must not prune
+                    # each other.
+                    state = (l, pd + r, r) if stages_left == 0 else (l, pd + r)
+                    frontier = cur.setdefault(state, [])
                     for pi, parent in enumerate(parents):
                         cand = (
                             max(parent[0], t0),
@@ -431,6 +543,36 @@ def _partition_heterogeneous(
                         )
                         pareto_insert(frontier, cand, 3)
         history.append(cur)
+
+    # Feedback times for every last-stage replica count, computed here
+    # while the StageCosts are still warm (the final selection would
+    # otherwise rebuild the O(L) prefix sums on every cold table).
+    tf_by_r: dict[int, float] = {}
+    if ctx.self_conditioning:
+        for state in history[S]:
+            r = state[2]
+            if r not in tf_by_r:
+                tf_by_r[r] = costs_for(r).feedback_ms()
+
+    cached = (history, tf_by_r)
+    lru_put(db_cache, key, cached, _HET_CACHE_MAX_TABLES)
+    return cached
+
+
+def _partition_heterogeneous(
+    ctx: PartitionContext, S: int, D: int
+) -> PartitionPlan:
+    """General DP with per-stage replica counts (Eqns. 7-9).
+
+    State: (layers consumed, stages used, devices consumed) -> Pareto
+    frontier of (W, W_sc, Y) with backtracking info (cut, replicas,
+    parent index).  Stage costs depend on the stage's own replica count;
+    :class:`StageCosts` are built lazily per used ``r`` and the DP table
+    is memoized per profile (see :data:`_HET_CACHE`), so only the final
+    M-dependent objective selection runs per call.
+    """
+    L = ctx.profile.num_layers(ctx.component)
+    history, tf_by_r = _het_frontiers(ctx, L, S, D)
 
     # Accept any full assignment that uses all L layers; devices may be
     # partially used but using all of them never hurts, so prefer d = D.
@@ -445,18 +587,18 @@ def _partition_heterogeneous(
             f"no feasible heterogeneous partition of {L} layers into {S} "
             f"stages on {D} devices"
         )
-    tf_by_r = {
-        r: (costs_by_r[r].feedback_ms() if ctx.self_conditioning else 0.0)
-        for r in costs_by_r
-    }
+    def tf_for(r: int) -> float:
+        # Prepopulated by _het_frontiers for every last-stage r.
+        return tf_by_r[r] if ctx.self_conditioning else 0.0
+
     best_key, best = min(
         finals,
         key=lambda ke: (
-            _objective(ctx, S, ke[1][0], ke[1][1], ke[1][2], tf_by_r[ke[1][4]]),
+            _objective(ctx, S, ke[1][0], ke[1][1], ke[1][2], tf_for(ke[1][4])),
             -ke[0][1],
         ),
     )
-    obj = _objective(ctx, S, best[0], best[1], best[2], tf_by_r[best[4]])
+    obj = _objective(ctx, S, best[0], best[1], best[2], tf_for(best[4]))
 
     # Backtrack.
     assignments: list[StageAssignment] = []

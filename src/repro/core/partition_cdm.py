@@ -23,11 +23,13 @@ whose stage chains are concatenated (§4.2's grouping rule); see
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from weakref import WeakKeyDictionary
 
 from ..errors import ConfigurationError, PartitionError
 from ..profiling.records import ProfileDB
+from .lru import lru_get, lru_put
 from .partition import PartitionContext, StageCosts, pareto_insert
 from .plan import PartitionPlan, StageAssignment
 
@@ -37,7 +39,12 @@ CDM_COMM_SCALE = 2.0
 #: per-ProfileDB memo of CDM DP tables (see ``_cdm_frontiers``): like
 #: the single-backbone frontier cache, the table is independent of the
 #: micro-batch counts, which only scale the final objective selection.
-_CDM_CACHE: "WeakKeyDictionary[ProfileDB, dict]" = WeakKeyDictionary()
+#: The per-profile dict is a bounded LRU like its partition.py siblings:
+#: the stage-local batch keys are continuous floats, so a long-lived
+#: service sweeping arbitrary batches must not pin O(S * L^2) tables
+#: without bound.
+_CDM_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
+_CDM_CACHE_MAX_TABLES = 256
 
 
 @dataclass(frozen=True)
@@ -97,15 +104,20 @@ def _cdm_frontiers(
     but not on the micro-batch counts.
     """
     cacheable = ctx.down.profile is ctx.up.profile
-    db_cache = _CDM_CACHE.setdefault(ctx.down.profile, {}) if cacheable else None
-    down_costs = _ScaledCosts(ctx.down, r, ctx.comm_scale)
-    up_costs = _ScaledCosts(ctx.up, r, ctx.comm_scale)
+    db_cache = None
+    if cacheable:
+        db_cache = _CDM_CACHE.get(ctx.down.profile)
+        if db_cache is None:
+            db_cache = _CDM_CACHE.setdefault(ctx.down.profile, OrderedDict())
     key = (
         ctx.down.component,
         ctx.up.component,
         S,
-        down_costs.local_batch,
-        up_costs.local_batch,
+        # Stage-local batch sizes, computed exactly as StageCosts does;
+        # the O(L) prefix-sum tables themselves are built only on a
+        # cache miss.
+        ctx.down.micro_batch / r,
+        ctx.up.micro_batch / r,
         ctx.down.p2p,
         ctx.down.allreduce,
         ctx.up.p2p,
@@ -115,9 +127,11 @@ def _cdm_frontiers(
         max_frontier,
     )
     if db_cache is not None:
-        cached = db_cache.get(key)
+        cached = lru_get(db_cache, key)
         if cached is not None:
             return cached
+    down_costs = _ScaledCosts(ctx.down, r, ctx.comm_scale)
+    up_costs = _ScaledCosts(ctx.up, r, ctx.comm_scale)
 
     def cut_points(n: int) -> list[int]:
         """Interior boundary positions allowed by ``cut_step``."""
@@ -187,7 +201,7 @@ def _cdm_frontiers(
         frontiers.append(cur)
 
     if db_cache is not None:
-        db_cache[key] = frontiers
+        lru_put(db_cache, key, frontiers, _CDM_CACHE_MAX_TABLES)
     return frontiers
 
 

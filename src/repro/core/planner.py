@@ -17,6 +17,8 @@ and finally returns the configuration with the highest throughput.
 
 from __future__ import annotations
 
+import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Iterator, Sequence
 
@@ -34,6 +36,7 @@ from ..schedule.timeline import Timeline
 from .bubbles import DEFAULT_MIN_BUBBLE_MS, extract_bubbles
 from .cross_iteration import compose_iteration
 from .filling import VALID_LOCAL_BATCHES, BubbleFiller
+from .lru import lru_get, lru_put
 from .partition import PartitionContext, partition_backbone
 from .partition_cdm import CDMPartitionContext, partition_cdm
 from .plan import ExecutionPlan, FillReport, PartitionPlan, StageAssignment
@@ -79,32 +82,56 @@ class PlannerCaches:
 
     One instance may be shared by several planners (e.g. DiffusionPipe +
     SPP in a throughput sweep, or the Fig. 15 ablation variants) as long
-    as they evaluate the *same model and profile*: cache keys include
-    the full :class:`ClusterSpec` (a frozen value type), so planners on
-    different topologies never alias each other's entries.
+    as they evaluate the *same model*: cache keys include the full
+    :class:`ClusterSpec` (a frozen value type) and a weak reference to
+    the :class:`ProfileDB`, so planners on different topologies or
+    re-profiled models never alias each other's entries (and retired
+    profiles are not pinned by the cache).
 
-    ``partition`` maps (cluster, batch_per_group, D, S, M, ...) to the
-    partitioner's output (or the PartitionError it raised); ``comm``
-    memoises the per-(D, r) communication constants.
+    ``partition`` maps (profile, cluster, batch_per_group, D, S, M, ...)
+    to the partitioner's output (or the PartitionError it raised);
+    ``comm`` memoises the per-(D, r) communication constants; ``evals``
+    memoises simulate-and-fill outcomes, with the filling-relevant
+    :class:`PlannerOptions` knobs in the key so planners with different
+    filling ablations never alias each other's entries.  ``partition``
+    and ``evals`` are bounded LRUs (``_PARTITION_CACHE_MAX`` /
+    ``_EVAL_CACHE_MAX``): re-profiling strands their weak-keyed entries,
+    and ``evals`` values pin :class:`Timeline` objects, so an unbounded
+    store in a long-lived service would grow forever.  ``comm`` stays a
+    plain dict — its keys are (cluster, small ints) and its values two
+    floats, bounded by the topologies actually used.
     """
 
-    partition: dict = field(default_factory=dict)
+    partition: "OrderedDict[tuple, object]" = field(default_factory=OrderedDict)
     comm: dict = field(default_factory=dict)
+    evals: "OrderedDict[tuple, tuple]" = field(default_factory=OrderedDict)
 
 
 #: global memo of simulated pipeline timelines.  The key captures every
 #: input of the task-graph build (stage execs, micro-batch count,
 #: self-conditioning flag, feedback time, device weights), so identical
 #: configurations reached from different planners/batches share one
-#: simulation.  Bounded to keep long-lived processes in check.
-_TIMELINE_CACHE: dict[tuple, Timeline] = {}
+#: simulation.  Bounded LRU (move-to-end on hit, evict oldest) so
+#: long-lived planner services keep their hot timelines instead of
+#: dropping all entries wholesale when the cap is reached.
+_TIMELINE_CACHE: "OrderedDict[tuple, Timeline]" = OrderedDict()
 _TIMELINE_CACHE_MAX = 8192
+
+#: cap on each PlannerCaches' simulate-and-fill memo (LRU, like the
+#: timeline cache: results pin Timeline/FillReport objects).
+_EVAL_CACHE_MAX = 4096
+
+#: cap on each PlannerCaches' partition memo (LRU; entries are small
+#: PartitionPlans but re-profiling strands their weak-keyed entries).
+_PARTITION_CACHE_MAX = 16384
+
+
+def _get_timeline(key: tuple) -> Timeline | None:
+    return lru_get(_TIMELINE_CACHE, key)
 
 
 def _cache_timeline(key: tuple, timeline: Timeline) -> None:
-    if len(_TIMELINE_CACHE) >= _TIMELINE_CACHE_MAX:
-        _TIMELINE_CACHE.clear()
-    _TIMELINE_CACHE[key] = timeline
+    lru_put(_TIMELINE_CACHE, key, timeline, _TIMELINE_CACHE_MAX)
 
 
 class DiffusionPipePlanner:
@@ -135,9 +162,6 @@ class DiffusionPipePlanner:
         self.options = options or PlannerOptions()
         self.collectives = CollectiveModel(cluster)
         self.caches = caches if caches is not None else PlannerCaches()
-        #: per-instance memo of _simulate_and_fill outcomes (filling
-        #: depends on this planner's options, so it cannot be shared)
-        self._eval_cache: dict[tuple, tuple] = {}
         if len(model.backbone_names) > 2:
             raise ConfigurationError(
                 "the planner handles one or two backbones; group larger "
@@ -153,6 +177,14 @@ class DiffusionPipePlanner:
         group_sizes = opts.group_sizes or tuple(
             d for d in range(2, world + 1) if world % d == 0
         )
+        # Per-stage replica counts are a single-backbone (1F1B) feature:
+        # the bidirectional CDM partitioner assumes uniform replicas, so
+        # non-divisible (S, D) combos would only produce cached
+        # PartitionErrors for cascaded models.
+        het = (
+            opts.heterogeneous_replication
+            and len(self.model.backbone_names) == 1
+        )
         for D in group_sizes:
             if D < 2 or D > world or world % D != 0:
                 continue
@@ -161,9 +193,14 @@ class DiffusionPipePlanner:
                 continue
             batch_per_group = global_batch / dp
             for S in range(2, min(opts.max_stages, D) + 1):
-                if not opts.heterogeneous_replication and D % S != 0:
+                if not het and D % S != 0:
                     continue
-                r = max(D // S, 1)
+                # Per-replica batch floor: homogeneous replication pins
+                # r = D/S, so the micro-batch must cover it; the
+                # heterogeneous DP picks per-stage replicas itself
+                # (capped at floor(micro_batch)), so any micro-batch of
+                # at least one sample is admissible.
+                r = 1 if het else max(D // S, 1)
                 for M in opts.micro_batch_counts:
                     if batch_per_group % M != 0:
                         continue
@@ -325,6 +362,10 @@ class DiffusionPipePlanner:
         self, batch_per_group: float, D: int, S: int, M: int
     ) -> PartitionPlan:
         key = (
+            # Weak profile identity (see _simulate_and_fill): planners
+            # sharing one PlannerCaches across re-profiled models must
+            # not reuse stale partitions.
+            weakref.ref(self.profile),
             self.cluster,
             batch_per_group,
             D,
@@ -336,7 +377,8 @@ class DiffusionPipePlanner:
             self.options.heterogeneous_replication,
             self.options.cdm_cut_step,
         )
-        hit = self.caches.partition.get(key)
+        partitions = self.caches.partition
+        hit = lru_get(partitions, key)
         if hit is not None:
             if isinstance(hit, PartitionError):
                 # Raise a fresh instance: re-raising the cached one would
@@ -350,16 +392,22 @@ class DiffusionPipePlanner:
             # Store a stripped copy: caching the live exception would pin
             # its __traceback__ (and every frame's locals) for the
             # cache's lifetime.
-            self.caches.partition[key] = PartitionError(*err.args)
+            lru_put(partitions, key, PartitionError(*err.args), _PARTITION_CACHE_MAX)
             raise
-        self.caches.partition[key] = plan
+        lru_put(partitions, key, plan, _PARTITION_CACHE_MAX)
         return plan
 
     def _partition_uncached(
         self, batch_per_group: float, D: int, S: int, M: int
     ) -> PartitionPlan:
         p2p = self._p2p_costs(D)
-        r = D // S if D % S == 0 else 1
+        # The partition DP prices every stage's gradient sync with one
+        # CommCosts (a per-replica-count sync model is a ROADMAP item).
+        # Use the representative r = round(D/S) rather than 1 for
+        # non-divisible combos: with dp == 1, r=1 would be a
+        # single-rank (free) allreduce and the DP's whole sync-gap
+        # term would degenerate to zero.
+        r = D // S if D % S == 0 else max(round(D / S), 1)
         ar = self._allreduce_costs(D, r)
         names = self.model.backbone_names
         if len(names) == 1:
@@ -393,10 +441,21 @@ class DiffusionPipePlanner:
         )
 
     def _stage_execs(
-        self, chain: Sequence[StageAssignment], micro_batch: float, sc: bool
+        self,
+        chain: Sequence[StageAssignment],
+        micro_batch: float,
+        sc: bool,
+        group_size: int | None = None,
     ) -> list[StageExec]:
         prof = self.profile
-        p2p = self._p2p_costs(chain[0].replicas * len(chain))
+        # With heterogeneous replication the stages' replica counts
+        # differ, so the pipeline-group size must come from the
+        # partition (or the chain's device total) — multiplying the
+        # first stage's count by the stage count only works for the
+        # homogeneous case.
+        if group_size is None:
+            group_size = sum(st.replicas for st in chain)
+        p2p = self._p2p_costs(group_size)
         execs = []
         for i, st in enumerate(chain):
             local = micro_batch / st.replicas
@@ -409,7 +468,7 @@ class DiffusionPipePlanner:
             else:
                 send_fwd = send_bwd = 0.0
             grad = prof.stage_grad_bytes(st.component, st.lo, st.hi)
-            ar = self._allreduce_costs(st.replicas * len(chain), st.replicas)
+            ar = self._allreduce_costs(group_size, st.replicas)
             sync = grad / ar.bandwidth + ar.latency if grad > 0 else 0.0
             execs.append(
                 StageExec(
@@ -426,11 +485,18 @@ class DiffusionPipePlanner:
             )
         return execs
 
-    def _feedback_ms(self, chain: Sequence[StageAssignment], micro_batch: float) -> float:
+    def _feedback_ms(
+        self,
+        chain: Sequence[StageAssignment],
+        micro_batch: float,
+        group_size: int | None = None,
+    ) -> float:
         last = chain[-1]
         local = micro_batch / last.replicas
         nbytes = self.profile.boundary_bytes(last.component, last.hi - 1, local)
-        p2p = self._p2p_costs(last.replicas * len(chain))
+        if group_size is None:
+            group_size = sum(st.replicas for st in chain)
+        p2p = self._p2p_costs(group_size)
         return nbytes / p2p.bandwidth + p2p.latency
 
     def _nt_serial_ms(self, batch_per_group: float, D: int) -> float:
@@ -449,6 +515,7 @@ class DiffusionPipePlanner:
         sc: bool,
         nt_total: float,
     ):
+        opts = self.options
         eval_key = (
             partition.down,
             partition.up,
@@ -457,15 +524,38 @@ class DiffusionPipePlanner:
             batch_per_group,
             sc,
             nt_total,
-            self.cluster.world_size,
+            # The full ClusterSpec (a frozen value type), matching the
+            # partition/comm keys: same-world-size planners on different
+            # interconnects must not alias each other's timelines.
+            self.cluster,
+            # Identity of the inputs the cached result was computed
+            # from: stage times come from the profile, filler layers
+            # from the model.  The per-instance predecessor of this
+            # memo could never alias across profiles; the shared one
+            # must not either (ModelSpec is unhashable, so its name
+            # stands in — profiles are per-model in practice).  A weak
+            # reference, so cache keys never pin a retired ProfileDB
+            # (and with it the per-profile DP tables that are meant to
+            # die with the profile); a dead ref only ever equals
+            # itself, so stale entries are inert until evicted.
+            weakref.ref(self.profile),
+            self.model.name,
+            # Filling knobs: planners sharing one PlannerCaches (e.g.
+            # the Fig. 15 ablation variants) differ only in these, so
+            # they are part of the key rather than a sharing hazard.
+            opts.enable_bubble_filling,
+            opts.enable_partial_batch,
+            opts.min_bubble_ms,
+            opts.partial_batch_menu,
         )
-        hit = self._eval_cache.get(eval_key)
+        evals = self.caches.evals
+        hit = lru_get(evals, eval_key)
         if hit is not None:
             return hit
         result = self._simulate_and_fill_uncached(
             partition, batch_per_group, sc=sc, nt_total=nt_total
         )
-        self._eval_cache[eval_key] = result
+        lru_put(evals, eval_key, result, _EVAL_CACHE_MAX)
         return result
 
     def _simulate_and_fill_uncached(
@@ -479,19 +569,24 @@ class DiffusionPipePlanner:
         micro = partition.micro_batch
         M = partition.num_micro_batches
         S = partition.num_stages
+        D = partition.group_size
         weights = {i: partition.down[i].replicas for i in range(S)}
         if partition.is_bidirectional:
-            down = self._stage_execs(partition.down, micro, sc=False)
-            up = self._stage_execs(partition.up, micro, sc=False)
+            down = self._stage_execs(partition.down, micro, sc=False, group_size=D)
+            up = self._stage_execs(partition.up, micro, sc=False, group_size=D)
             tl_key = ("bi", tuple(down), tuple(up), M, S, tuple(sorted(weights.items())))
-            timeline = _TIMELINE_CACHE.get(tl_key)
+            timeline = _get_timeline(tl_key)
             if timeline is None:
                 tasks = build_bidirectional(down, up, M, M)
                 timeline = simulate(tasks, S, weights)
                 _cache_timeline(tl_key, timeline)
         else:
-            stages = self._stage_execs(partition.down, micro, sc=sc)
-            feedback = self._feedback_ms(partition.down, micro) if sc else 0.0
+            stages = self._stage_execs(partition.down, micro, sc=sc, group_size=D)
+            feedback = (
+                self._feedback_ms(partition.down, micro, group_size=D)
+                if sc
+                else 0.0
+            )
             tl_key = (
                 "1f1b",
                 tuple(stages),
@@ -501,7 +596,7 @@ class DiffusionPipePlanner:
                 S,
                 tuple(sorted(weights.items())),
             )
-            timeline = _TIMELINE_CACHE.get(tl_key)
+            timeline = _get_timeline(tl_key)
             if timeline is None:
                 tasks = build_1f1b(
                     stages, M, self_conditioning=sc, feedback_ms=feedback

@@ -167,7 +167,7 @@ def cross_iteration_equivalence(
             # updates matters — and the encoder is frozen, so none.
             next_x, next_y = data[k + 1]
             feats_next = harness.encode(next_x)
-        loss = harness.train_on_prefetched()
+        harness.train_on_prefetched()
         if k + 1 < iterations:
             harness._prefetched = feats_next
             harness._prefetched_target = data[k + 1][1]

@@ -66,7 +66,10 @@ def bubble_ratio_grid(
     for S in stage_counts:
         for M in micro_counts:
             partition = planner._partition(batch, S, S, M)
-            stages = planner._stage_execs(partition.down, batch / M, sc=False)
+            stages = planner._stage_execs(
+                partition.down, batch / M, sc=False,
+                group_size=partition.group_size,
+            )
             tasks = build_1f1b(stages, M)
             tl = simulate(tasks, S)
             nt_dp = sum(
@@ -174,7 +177,10 @@ def longest_bubble_by_stages(
     out = {}
     for S in stage_counts:
         partition = planner._partition(batch, S, S, num_micro)
-        stages = planner._stage_execs(partition.down, batch / num_micro, sc=False)
+        stages = planner._stage_execs(
+            partition.down, batch / num_micro, sc=False,
+            group_size=partition.group_size,
+        )
         tl = simulate(build_1f1b(stages, num_micro), S)
         longest = 0.0
         for dev in range(S):
@@ -194,11 +200,14 @@ def bubble_ratio_comparison(
     *,
     batches: Sequence[int] = (256, 384),
     options: PlannerOptions | None = None,
+    heterogeneous: bool = False,
 ) -> dict[str, dict[int, float]]:
     """Bubble ratio of the three pipeline systems at 8 GPUs."""
     options = options or PlannerOptions(
         max_stages=4, micro_batch_counts=(1, 2, 3, 4, 6, 8), group_sizes=(2, 4, 8)
     )
+    if heterogeneous:
+        options = replace(options, heterogeneous_replication=True)
     caches = PlannerCaches()
     planner = DiffusionPipePlanner(model, cluster, profile, options=options,
                                    caches=caches)
@@ -224,11 +233,14 @@ def ablation_throughputs(
     *,
     batches: Sequence[int] = (256, 384),
     options: PlannerOptions | None = None,
+    heterogeneous: bool = False,
 ) -> dict[str, dict[int, float]]:
     """DiffusionPipe vs partial-batch-disabled vs filling-disabled."""
     base = options or PlannerOptions(
         max_stages=4, micro_batch_counts=(1, 2, 3, 4, 6, 8), group_sizes=(2, 4, 8)
     )
+    if heterogeneous:
+        base = replace(base, heterogeneous_replication=True)
     variants = {
         "DiffusionPipe": base,
         "Partial-batch disabled": replace(base, enable_partial_batch=False),

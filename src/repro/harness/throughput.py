@@ -9,7 +9,7 @@ keep benchmark runtimes reasonable.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Mapping, Sequence
 
 from ..baselines import (
@@ -88,11 +88,19 @@ class ThroughputSweep:
         machine_counts: Sequence[int] = (1, 2, 4, 8),
         batches: Mapping[int, tuple[int, ...]] | None = None,
         planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
+        heterogeneous: bool = False,
     ):
         self.model = model_factory()
         self.machine_counts = tuple(machine_counts)
         self.batches = dict(batches or SD_BATCHES)
-        self.planner_options = planner_options
+        # ``heterogeneous`` lets the planner (and SPP, which shares its
+        # options) evaluate non-divisible (S, D) combos with per-stage
+        # replica counts instead of skipping them.
+        self.planner_options = (
+            replace(planner_options, heterogeneous_replication=True)
+            if heterogeneous
+            else planner_options
+        )
         # Layer profiles depend only on the device model, not the scale.
         self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
         # One memo store for the whole sweep: at each scale the planner
@@ -157,6 +165,12 @@ class CDMThroughputSweep:
         batches: Mapping[int, tuple[int, ...]] | None = None,
         planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
     ):
+        # No ``heterogeneous`` convenience flag here (unlike
+        # ThroughputSweep): the bidirectional CDM partitioner assumes
+        # uniform replicas and the planner keeps non-divisible (S, D)
+        # combos out of the sweep for cascaded models, so the flag would
+        # be a silent no-op.  Callers with single-backbone models can
+        # still set ``heterogeneous_replication`` via planner_options.
         self.model = model_factory()
         self.machine_counts = tuple(machine_counts)
         self.batches = dict(batches or CDM_LSUN_BATCHES)

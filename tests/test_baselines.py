@@ -114,6 +114,24 @@ def test_spp_never_fills(setup):
     assert spp.bubble_ratio(64) > 0
 
 
+def test_spp_preserves_heterogeneous_flag(setup):
+    """SPP reuses DiffusionPipe's planner options (minus filling), so a
+    heterogeneous sweep keeps SPP on the same partition search space —
+    and the shared PlannerCaches means shared heterogeneous DP work."""
+    from dataclasses import replace
+
+    from repro.core import PlannerCaches, PlannerOptions
+
+    model, cluster, prof = setup
+    opts = PlannerOptions(heterogeneous_replication=True, check_memory=False)
+    caches = PlannerCaches()
+    spp = SPPBaseline(model, cluster, prof, options=opts, caches=caches)
+    assert spp.options.heterogeneous_replication
+    assert not spp.options.enable_bubble_filling
+    assert replace(opts, enable_bubble_filling=False) == spp.options
+    assert spp.planner.caches is caches
+
+
 def test_single_backbone_view(cascaded):
     view = single_backbone_view(cascaded, "backbone_a")
     assert view.backbone_names == ("backbone_a",)

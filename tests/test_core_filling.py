@@ -185,7 +185,6 @@ def test_filler_respects_dependencies(cluster8, two_encoder, two_encoder_profile
     bubbles = [_bubble(1e4, start=0.0), _bubble(1e4, start=2e4)]
     report = filler.fill(bubbles, leftover_devices=2)
     assert report.complete
-    order = [(i.component, i.layer) for i in report.items]
     a_done = max(k for k, it in enumerate(report.items) if it.component == "encoder_a")
     b_first = min(k for k, it in enumerate(report.items) if it.component == "encoder_b")
     assert a_done < b_first

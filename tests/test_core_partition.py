@@ -80,6 +80,10 @@ def test_infeasible_cases():
         partition_backbone(_ctx(), 3, 2)      # more stages than devices
     with pytest.raises(PartitionError):
         partition_backbone(_ctx(), 3, 8)      # 3 does not divide 8
+    with pytest.raises(PartitionError):
+        # r = 4 replicas but only 2 samples per micro-batch: sub-sample
+        # local batches are unrunnable (same floor as the het DP).
+        partition_backbone(_ctx(batch=4, M=2), 2, 8)
     with pytest.raises(ConfigurationError):
         partition_backbone(_ctx(), 0, 2)
 
@@ -154,6 +158,130 @@ def test_heterogeneous_uneven_devices():
     # The heavier share of devices goes somewhere useful: both stages
     # keep at least one device.
     assert all(st.replicas >= 1 for st in plan.down)
+
+
+def test_heterogeneous_equals_homogeneous_when_forced():
+    """D = S leaves exactly one device per stage: both DPs face the same
+    space and must return the same objective."""
+    hom = partition_backbone(_ctx(), 2, 2)
+    het = partition_backbone(_ctx(), 2, 2, heterogeneous=True)
+    assert het.t_max_ms == pytest.approx(hom.t_max_ms, rel=1e-12)
+    assert [st.replicas for st in het.down] == [1, 1]
+
+
+def test_heterogeneous_repeated_call_bit_identical():
+    db = make_synthetic_db()
+    a = partition_backbone(_ctx(db), 2, 3, heterogeneous=True)
+    b = partition_backbone(_ctx(db), 2, 3, heterogeneous=True)
+    assert a == b  # second call reads the memoized DP table
+
+
+def test_heterogeneous_cache_is_micro_batch_keyed():
+    """The DP table key uses the micro-batch *size*, not (batch, M):
+    sweeps with the same ratio share one table, and M only enters the
+    final objective selection."""
+    from repro.core.partition import _HET_CACHE
+
+    db = make_synthetic_db()
+    partition_backbone(_ctx(db, batch=64, M=4), 2, 3, heterogeneous=True)
+    n_tables = len(_HET_CACHE[db])
+    # Same micro-batch size (32/2 == 64/4): table is reused.
+    partition_backbone(_ctx(db, batch=32, M=2), 2, 3, heterogeneous=True)
+    assert len(_HET_CACHE[db]) == n_tables
+    # Different micro-batch size: a new table.
+    partition_backbone(_ctx(db, batch=64, M=2), 2, 3, heterogeneous=True)
+    assert len(_HET_CACHE[db]) == n_tables + 1
+
+
+def test_heterogeneous_dp_prunes_dead_states():
+    """The last DP stage only materialises full-chain prefixes, and no
+    state exceeds the device budget or starves a remaining stage."""
+    from repro.core.partition import _het_frontiers
+
+    ctx = _ctx()
+    S, D, L = 3, 5, 8
+    history, _ = _het_frontiers(ctx, L, S, D)
+    for s in range(1, S + 1):
+        for state in history[s]:
+            l, d = state[0], state[1]
+            assert s <= l <= L - (S - s)
+            assert s <= d <= D - (S - s)
+    # Last stage: only full-chain prefixes, keyed (l, d, last-stage r).
+    assert all(state[0] == L for state in history[S])
+    assert all(len(state) == 3 for state in history[S])
+
+
+def test_heterogeneous_respects_micro_batch_floor():
+    """A stage replica must see at least one sample per micro-batch:
+    with micro-batch 1 the DP may not replicate any stage (larger r
+    would mean unrunnable sub-sample local batches), and with
+    micro-batch 3 no stage may exceed 3 replicas."""
+    plan = partition_backbone(
+        _ctx(batch=2, M=2), 2, 6, heterogeneous=True
+    )  # micro-batch 1.0
+    assert [st.replicas for st in plan.down] == [1, 1]
+    plan = partition_backbone(
+        _ctx(batch=6, M=2), 2, 8, heterogeneous=True
+    )  # micro-batch 3.0
+    assert all(st.replicas <= 3 for st in plan.down)
+    assert all(plan.micro_batch / st.replicas >= 1.0 for st in plan.down)
+
+
+def test_heterogeneous_sc_feedback_not_pruned():
+    """Regression: the feedback term T_F depends on the *last* stage's
+    replica count, so a final-stage entry dominated on (w, w_sc, y) can
+    still be the optimum.  Heavy first layer + light last layer whose
+    output (the feedback payload) is huge: r=(2, 1) strictly dominates
+    r=(1, 2) on the frontier triple, but r=(1, 2) halves T_F and wins
+    the objective.  The DP must keep both (last-stage buckets are keyed
+    by r) and return the brute-force optimum."""
+    import itertools
+
+    from repro.profiling.records import LayerProfile
+
+    def layer(i, f, b, out):
+        return LayerProfile(
+            component="bb", layer_index=i, layer_name=f"l{i}",
+            batches=(1.0, 64.0), fwd_ms=(f / 64, f), bwd_ms=(b / 64, b),
+            param_bytes=1e6, grad_bytes=1e6,
+            output_bytes_per_sample=out,
+            activation_bytes_per_sample=1.0, trainable=True,
+        )
+
+    from repro.profiling import ProfileDB
+
+    db = ProfileDB([layer(0, 100.0, 200.0, 1.0), layer(1, 1.0, 2.0, 1e6)])
+    ctx = PartitionContext(
+        profile=db, component="bb", batch_per_group=64.0,
+        num_micro_batches=1, p2p=CommCosts(bandwidth=3200.0, latency=0.0),
+        allreduce=FAST_AR, self_conditioning=True,
+        self_conditioning_prob=0.9,
+    )
+    S, D, L = 2, 3, 2
+    plan = partition_backbone(ctx, S, D, heterogeneous=True)
+
+    best = None
+    for cut in itertools.combinations(range(1, L), S - 1):
+        slices = list(zip((0, *cut), (*cut, L)))
+        for rs in itertools.product(range(1, D + 1), repeat=S):
+            if sum(rs) > D:
+                continue
+            w = w_sc = 0.0
+            y = float("-inf")
+            for (a, b), r in zip(slices, rs):
+                c = StageCosts(ctx, r)
+                w = max(w, c.t0(a, b))
+                w_sc = max(w_sc, c.t0_sc(a, b))
+                y = max(y, c.sync_gap(a, b))
+            tf = StageCosts(ctx, rs[-1]).feedback_ms()
+            coeff = ctx.num_micro_batches + 2 * S - 2
+            p = ctx.self_conditioning_prob
+            obj = p * (coeff * w_sc + y + tf) + (1 - p) * (coeff * w + y)
+            if best is None or obj < best[0]:
+                best = (obj, rs)
+
+    assert plan.t_max_ms == pytest.approx(best[0], rel=1e-9)
+    assert [st.replicas for st in plan.down] == list(best[1]) == [1, 2]
 
 
 def test_stage_costs_validation():

@@ -50,7 +50,6 @@ def test_unbalanced_backbones_share_devices():
     put less of the heavy chain where the light chain is thick."""
     db = _db([(30, 60)] * 6, [(5, 10)] * 6)
     plan = partition_cdm(_cdm_ctx(db), 2, 2)
-    coeff = plan.num_micro_batches * 2 + 2 * 2 - 2
     # W bound should be close to balanced-down: T(down)/2.
     down_total = 6 * 90.0 * (32 / 64)  # fwd+bwd at micro-batch 32
     assert plan.w_ms <= down_total / 2 * 1.35

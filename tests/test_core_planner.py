@@ -133,3 +133,105 @@ def test_planner_options_validation():
         PlannerOptions(max_stages=1)
     with pytest.raises(ConfigurationError):
         PlannerOptions(micro_batch_counts=())
+
+
+def test_heterogeneous_flag_opens_non_divisible_configs(uniform, uniform_profile):
+    """With heterogeneous replication the sweep keeps (S, D) combos
+    where S does not divide D, and evaluating one yields a valid plan."""
+    from repro.cluster import single_node
+
+    cluster = single_node(6)
+    hom = DiffusionPipePlanner(
+        uniform, cluster, uniform_profile,
+        _options(group_sizes=(6,), micro_batch_counts=(1, 2)),
+    )
+    het = DiffusionPipePlanner(
+        uniform, cluster, uniform_profile,
+        _options(group_sizes=(6,), micro_batch_counts=(1, 2),
+                 heterogeneous_replication=True),
+    )
+    hom_configs = set(hom.candidate_configs(12))
+    het_configs = set(het.candidate_configs(12))
+    assert all(D % S == 0 for D, S, _ in hom_configs)
+    assert any(D % S != 0 for D, S, _ in het_configs)
+    assert hom_configs <= het_configs
+
+    ev = het.evaluate(12, group_size=6, num_stages=4, num_micro=2)
+    assert ev is not None
+    chain = ev.plan.partition.down
+    assert sum(st.replicas for st in chain) <= 6
+    assert all(st.replicas >= 1 for st in chain)
+    assert ev.plan.partition.group_size == 6
+
+
+def test_heterogeneous_floor_is_per_stage(uniform, uniform_profile):
+    """The homogeneous feasibility floor (micro_batch / (D/S) >= 1)
+    must not prune heterogeneous configs: the het DP picks per-stage
+    replicas itself, capped at floor(micro_batch)."""
+    from repro.cluster import single_node
+
+    cluster = single_node(6)
+    opts = dict(group_sizes=(6,), micro_batch_counts=(2,))
+    hom = DiffusionPipePlanner(
+        uniform, cluster, uniform_profile, _options(**opts)
+    )
+    het = DiffusionPipePlanner(
+        uniform, cluster, uniform_profile,
+        _options(heterogeneous_replication=True, **opts),
+    )
+    # Batch 4, M=2 -> micro-batch 2: uniform r=3 would need 3 samples,
+    # so the homogeneous sweep prunes (D=6, S=2) — but r=(2, 2) etc.
+    # are perfectly runnable.
+    assert (6, 2, 2) not in set(hom.candidate_configs(4))
+    assert (6, 2, 2) in set(het.candidate_configs(4))
+    ev = het.evaluate(4, group_size=6, num_stages=2, num_micro=2)
+    assert ev is not None
+    chain = ev.plan.partition.down
+    assert all(ev.plan.partition.micro_batch / st.replicas >= 1.0 for st in chain)
+
+
+def test_eval_cache_shared_across_planners(cluster8, uniform, uniform_profile):
+    """Planners sharing one PlannerCaches (same model/profile/options)
+    reuse each other's simulate-and-fill results; filling ablations get
+    distinct entries (the filling knobs are part of the key)."""
+    from repro.core import PlannerCaches
+
+    caches = PlannerCaches()
+    DiffusionPipePlanner(
+        uniform, cluster8, uniform_profile, _options(), caches=caches
+    ).plan(64)
+    n = len(caches.evals)
+    assert n > 0
+    DiffusionPipePlanner(
+        uniform, cluster8, uniform_profile, _options(), caches=caches
+    ).plan(64)
+    assert len(caches.evals) == n
+    DiffusionPipePlanner(
+        uniform, cluster8, uniform_profile,
+        _options(enable_bubble_filling=False), caches=caches,
+    ).plan(64)
+    assert len(caches.evals) > n
+
+
+def test_timeline_cache_lru(monkeypatch):
+    """The global timeline memo is a bounded LRU: hits move entries to
+    the back, inserts at capacity evict the least recently used."""
+    from collections import OrderedDict
+
+    from repro.core import planner as planner_mod
+
+    monkeypatch.setattr(planner_mod, "_TIMELINE_CACHE", OrderedDict())
+    monkeypatch.setattr(planner_mod, "_TIMELINE_CACHE_MAX", 3)
+    for i in range(3):
+        planner_mod._cache_timeline(("k", i), f"tl{i}")
+    # Touch the oldest entry: it becomes most-recently-used.
+    assert planner_mod._get_timeline(("k", 0)) == "tl0"
+    planner_mod._cache_timeline(("k", 3), "tl3")
+    # ("k", 1) was the LRU entry and is the only one evicted.
+    assert planner_mod._get_timeline(("k", 1)) is None
+    assert planner_mod._get_timeline(("k", 0)) == "tl0"
+    assert planner_mod._get_timeline(("k", 2)) == "tl2"
+    assert planner_mod._get_timeline(("k", 3)) == "tl3"
+    # Re-inserting an existing key refreshes it without evicting.
+    planner_mod._cache_timeline(("k", 0), "tl0")
+    assert len(planner_mod._TIMELINE_CACHE) == 3

@@ -65,7 +65,7 @@ def test_sc_validation(rng):
     chain = mlp_chain("sc", [6, 8, 2], rng)
     with pytest.raises(EngineError):
         SelfConditionedPipelineTrainer(chain, [2, 2], 2)
-    t = SelfConditionedTrainer(chain, 2)
+    SelfConditionedTrainer(chain, 2)
     with pytest.raises(EngineError):
         # conditioning batch mismatch
         from repro.engine.self_conditioning import _concat_condition

@@ -167,6 +167,42 @@ def test_partition_covers_chain_contiguously(times, S):
     assert all(st_.num_layers >= 1 for st_ in plan.down)
 
 
+@given(
+    layer_times,
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=25, deadline=None)
+def test_het_objective_never_exceeds_homogeneous(times, S, k):
+    """On ``S | D`` clusters the heterogeneous DP can always pick the
+    uniform ``r = D/S`` assignment, so its objective must never exceed
+    the homogeneous chain DP's."""
+    if S > len(times):
+        return
+    D = S * k
+    ctx = _ctx_from_times(times)
+    hom = partition_backbone(ctx, S, D)
+    het = partition_backbone(ctx, S, D, heterogeneous=True)
+    assert het.t_max_ms <= hom.t_max_ms + 1e-9 * max(1.0, hom.t_max_ms)
+
+
+@given(layer_times, st.integers(min_value=2, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_het_backtracking_contiguous_and_device_conserving(times, S):
+    """Non-divisible case (D = S + 1): the backtracked chain must be
+    contiguous, cover all layers and never over-subscribe devices."""
+    if S > len(times):
+        return
+    D = S + 1  # S + 1 is never a multiple of S for S >= 2
+    plan = partition_backbone(_ctx_from_times(times), S, D, heterogeneous=True)
+    assert plan.down[0].lo == 0
+    assert plan.down[-1].hi == len(times)
+    for a, b in zip(plan.down, plan.down[1:]):
+        assert a.hi == b.lo
+    assert all(st_.replicas >= 1 for st_ in plan.down)
+    assert sum(st_.replicas for st_ in plan.down) <= D
+
+
 @given(layer_times)
 @settings(max_examples=30, deadline=None)
 def test_partition_w_is_lower_bounded_by_mean(times):

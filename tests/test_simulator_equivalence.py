@@ -167,25 +167,39 @@ def test_planner_schedules_equivalence(uniform, uniform_profile, cluster8):
         assert_equivalent(build_1f1b(stages, M), S)
 
 
+def _random_dag(rng, n, num_resources=5, max_deps=3):
+    tasks = []
+    for i in range(n):
+        ndeps = rng.randint(0, min(max_deps, i))
+        deps = tuple(rng.sample([f"t{j}" for j in range(i)], ndeps))
+        tasks.append(
+            Task(
+                task_id=f"t{i}",
+                resource=f"r{rng.randrange(num_resources)}",
+                duration=rng.choice(
+                    [0.0, float(rng.randint(1, 4)), rng.uniform(0.1, 9.0)]
+                ),
+                deps=deps,
+                priority=(rng.randint(0, 3), rng.randint(0, 3)),
+            )
+        )
+    return tasks
+
+
 def test_randomized_dag_equivalence():
     """Seeded random DAG stress: mixed resources, priorities, zero
     durations, fan-in/fan-out dependencies."""
     rng = random.Random(1234)
     for _ in range(150):
-        n = rng.randint(1, 50)
-        tasks = []
-        for i in range(n):
-            ndeps = rng.randint(0, min(3, i))
-            deps = tuple(rng.sample([f"t{j}" for j in range(i)], ndeps))
-            tasks.append(
-                Task(
-                    task_id=f"t{i}",
-                    resource=f"r{rng.randrange(5)}",
-                    duration=rng.choice(
-                        [0.0, float(rng.randint(1, 4)), rng.uniform(0.1, 9.0)]
-                    ),
-                    deps=deps,
-                    priority=(rng.randint(0, 3), rng.randint(0, 3)),
-                )
-            )
+        assert_equivalent(_random_dag(rng, rng.randint(1, 50)), 1)
+
+
+def test_randomized_dag_equivalence_large():
+    """~10x larger seeded DAGs — tractable because the reference engine
+    keeps an incremental ready-set (cached per-resource candidates)
+    instead of rescanning every ready task per commit."""
+    rng = random.Random(99)
+    for _ in range(8):
+        n = rng.randint(300, 500)
+        tasks = _random_dag(rng, n, num_resources=8, max_deps=4)
         assert_equivalent(tasks, 1)

@@ -26,7 +26,7 @@ from .baselines import (
     SPPBaseline,
     Zero3Baseline,
 )
-from .cluster import p4de_cluster
+from .cluster import p4de_cluster, single_node
 from .core import DiffusionPipePlanner, PlannerOptions, extract_bubbles
 from .errors import ReproError
 from .harness import format_table, pct
@@ -53,6 +53,40 @@ def _build_model(name: str, self_conditioning: bool | None):
     return factory(self_conditioning=self_conditioning)
 
 
+def _build_cluster(gpus: int):
+    """Multiples of 8 GPUs map to p4de machines; smaller or odd counts
+    model one NVSwitch node — e.g. ``--gpus 6`` plans the non-divisible
+    clusters the heterogeneous DPs exist for."""
+    if gpus < 2:
+        raise SystemExit("--gpus must be at least 2")
+    if gpus % 8 == 0:
+        return p4de_cluster(gpus // 8)
+    if gpus > 8:
+        raise SystemExit(
+            "--gpus beyond one machine must be a multiple of 8 (p4de)"
+        )
+    return single_node(gpus)
+
+
+def _group_sizes(cluster) -> tuple[int, ...]:
+    """Pipeline-group menu: sizes within the paper's practical range
+    (groups fit one machine) that tile both the world and the machine.
+
+    Groups are contiguous rank blocks, so a size that does not divide
+    the per-machine device count would make some groups straddle the
+    inter-node link while the planner prices every group off the first
+    (intra-node) one — e.g. D=6 on 24 p4de GPUs.  Requiring ``d |
+    devices_per_machine`` keeps every group on one machine.
+    """
+    world = cluster.world_size
+    per = cluster.devices_per_machine
+    return tuple(
+        d
+        for d in range(2, min(world, per) + 1)
+        if world % d == 0 and per % d == 0
+    )
+
+
 def cmd_models(args: argparse.Namespace) -> int:
     rows = []
     for name, factory in MODELS.items():
@@ -76,16 +110,14 @@ def cmd_models(args: argparse.Namespace) -> int:
 
 def cmd_plan(args: argparse.Namespace) -> int:
     model = _build_model(args.model, args.self_conditioning)
-    cluster = p4de_cluster(max(args.gpus // 8, 1))
-    if cluster.world_size != args.gpus:
-        raise SystemExit("--gpus must be a multiple of 8 (p4de machines)")
+    cluster = _build_cluster(args.gpus)
     profile = Profiler(cluster).profile(model)
     planner = DiffusionPipePlanner(
         model,
         cluster,
         profile,
         options=PlannerOptions(
-            group_sizes=(2, 4, 8),
+            group_sizes=_group_sizes(cluster),
             keep_timeline=True,
             heterogeneous_replication=args.heterogeneous,
         ),
@@ -130,10 +162,10 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     model = _build_model(args.model, args.self_conditioning)
-    cluster = p4de_cluster(max(args.gpus // 8, 1))
+    cluster = _build_cluster(args.gpus)
     profile = Profiler(cluster).profile(model)
     opts = PlannerOptions(
-        group_sizes=(2, 4, 8),
+        group_sizes=_group_sizes(cluster),
         heterogeneous_replication=args.heterogeneous,
     )
     planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
@@ -220,9 +252,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--batch", type=int, default=256)
     p.add_argument("--self-conditioning", action="store_true", default=None)
     p.add_argument("--heterogeneous", action="store_true",
-                   help="allow per-stage replica counts (non-divisible S, D); "
-                        "single-backbone models only — ignored for cdm-* "
-                        "(the bidirectional partitioner is uniform-replica)")
+                   help="allow per-stage replica counts (non-divisible S, D) "
+                        "for all models; for cdm-* each chain position's "
+                        "count is shared by its co-located down/up stages")
     p.add_argument("--out", help="write the plan JSON here")
     p.add_argument("--trace", help="write a chrome trace here")
     p.set_defaults(func=cmd_plan)
@@ -234,9 +266,9 @@ def build_parser() -> argparse.ArgumentParser:
                    default=[64, 128, 256, 384])
     p.add_argument("--self-conditioning", action="store_true", default=None)
     p.add_argument("--heterogeneous", action="store_true",
-                   help="allow per-stage replica counts (non-divisible S, D); "
-                        "single-backbone models only — ignored for cdm-* "
-                        "(the bidirectional partitioner is uniform-replica)")
+                   help="allow per-stage replica counts (non-divisible S, D) "
+                        "for all models; for cdm-* each chain position's "
+                        "count is shared by its co-located down/up stages")
     p.set_defaults(func=cmd_sweep)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(func=cmd_table1)

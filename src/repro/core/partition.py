@@ -36,7 +36,8 @@ homogeneous replication as in the paper's evaluation (footnote 2).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 from weakref import WeakKeyDictionary
 
 from ..cluster.collectives import CommCosts
@@ -50,8 +51,15 @@ from .plan import PartitionPlan, StageAssignment
 class PartitionContext:
     """Everything the stage cost functions need.
 
-    ``sync_group_size`` is the number of devices each stage's gradients
-    all-reduce over (stage replicas x data-parallel degree).
+    ``allreduce`` prices every stage's gradient all-reduce with one
+    flat :class:`CommCosts` pair.  A stage's sync group actually spans
+    its ``r`` replicas times the data-parallel degree, so callers that
+    know the cluster layout can instead supply ``allreduce_by_r`` — a
+    per-replica-count cost resolver — and the DPs price Eqn. 4
+    faithfully for every candidate ``r``.  ``allreduce_key`` must then
+    identify the resolver's constants (a hashable value such as
+    ``(cluster, D)``): DP memo keys use it in place of the callable,
+    which is neither hashable nor comparable across planner instances.
     """
 
     profile: ProfileDB
@@ -62,10 +70,35 @@ class PartitionContext:
     allreduce: CommCosts
     self_conditioning: bool = False
     self_conditioning_prob: float = 0.5
+    allreduce_by_r: Callable[[int], CommCosts] | None = field(
+        default=None, compare=False
+    )
+    allreduce_key: tuple | None = None
+
+    def __post_init__(self) -> None:
+        if self.allreduce_by_r is not None and self.allreduce_key is None:
+            raise ConfigurationError(
+                "allreduce_by_r needs an allreduce_key identifying its "
+                "constants for the DP memo keys"
+            )
 
     @property
     def micro_batch(self) -> float:
         return self.batch_per_group / self.num_micro_batches
+
+    def allreduce_for(self, replicas: int) -> CommCosts:
+        """The all-reduce constants of a stage with ``replicas`` devices."""
+        if self.allreduce_by_r is not None:
+            return self.allreduce_by_r(replicas)
+        return self.allreduce
+
+    @property
+    def sync_key(self) -> tuple | CommCosts:
+        """Hashable identity of the sync-cost model, for DP memo keys
+        whose tables span several replica counts."""
+        if self.allreduce_by_r is not None:
+            return self.allreduce_key
+        return self.allreduce
 
 
 class StageCosts:
@@ -80,6 +113,9 @@ class StageCosts:
             raise ConfigurationError("replicas must be positive")
         self.ctx = ctx
         self.replicas = replicas
+        #: all-reduce constants resolved for this stage's replica count
+        #: (falls back to the context's flat ``allreduce`` pair).
+        self.sync_costs = ctx.allreduce_for(replicas)
         prof = ctx.profile
         comp = ctx.component
         n = prof.num_layers(comp)
@@ -142,7 +178,7 @@ class StageCosts:
         g = self.grad_bytes(lo, hi)
         if g == 0:
             return 0.0
-        return g / self.ctx.allreduce.bandwidth + self.ctx.allreduce.latency
+        return g / self.sync_costs.bandwidth + self.sync_costs.latency
 
     def compensation_ms(self, lo: int) -> float:
         """Eqn. 5 (lower bound): backward time of all layers before the
@@ -261,8 +297,7 @@ def partition_backbone(
             f"uniform replication r={r} needs at least {r} samples per "
             f"micro-batch (got {ctx.micro_batch:g})"
         )
-    costs = StageCosts(ctx, r)
-    plan_stages, w, w_sc, y, obj = _solve_chain(ctx, costs, L, S)
+    plan_stages, w, w_sc, y, obj = _solve_chain(ctx, r, L, S)
     stages = tuple(
         StageAssignment(ctx.component, lo, hi, replicas=r) for lo, hi in plan_stages
     )
@@ -316,14 +351,18 @@ _CHAIN_CACHE_MAX_TABLES = 1024
 
 
 def _chain_frontiers(
-    ctx: PartitionContext, costs: StageCosts, L: int, S: int
-) -> list[list[list[tuple]]]:
+    ctx: PartitionContext, r: int, L: int, S: int
+) -> tuple[list[list[list[tuple]]], float]:
     """The (memoized) Pareto-DP table of :func:`_solve_chain`.
 
-    ``history[s][l]`` is the frontier of (w, w_sc, y, cut, parent_index)
-    for prefixes of ``l`` layers in ``s`` stages; the first three values
-    are objective coordinates, cut/parent enable backtracking.  Entries
-    are immutable: callers must only read them.
+    Returns ``(history, tf)``.  ``history[s][l]`` is the frontier of
+    (w, w_sc, y, cut, parent_index) for prefixes of ``l`` layers in
+    ``s`` stages; the first three values are objective coordinates,
+    cut/parent enable backtracking.  Entries are immutable: callers
+    must only read them.  ``tf`` is the feedback time ``T_F`` (0.0
+    without self-conditioning), computed with the table while the
+    :class:`StageCosts` are warm.  The key is derived arithmetically —
+    the O(L) prefix sums are built only on a cache miss.
     """
     db_cache = _CHAIN_CACHE.get(ctx.profile)
     if db_cache is None:
@@ -332,15 +371,21 @@ def _chain_frontiers(
         ctx.component,
         L,
         S,
-        costs.local_batch,
+        # The stage-local batch, exactly as StageCosts computes it.
+        ctx.micro_batch / r,
         ctx.p2p,
-        ctx.allreduce,
+        # The sync constants actually resolved for this replica count:
+        # with a per-replica-count resolver, contexts sharing one
+        # stage-local batch but differing in (micro-batch, r) price
+        # Eqn. 4 differently and must not share a table.
+        ctx.allreduce_for(r),
         ctx.self_conditioning,
     )
     cached = lru_get(db_cache, key)
     if cached is not None:
         return cached
 
+    costs = StageCosts(ctx, r)
     prev: list[list[tuple]] = [[] for _ in range(L + 1)]
     prev[0] = [(0.0, 0.0, float("-inf"), -1, -1)]
     history: list[list[list[tuple]]] = [prev]
@@ -372,24 +417,28 @@ def _chain_frontiers(
         history.append(cur)
         prev = cur
 
-    lru_put(db_cache, key, history, _CHAIN_CACHE_MAX_TABLES)
-    return history
+    # Feedback time computed while the StageCosts are warm: the final
+    # selection would otherwise rebuild the O(L) prefix sums on every
+    # warm-path call just for this one value.
+    tf = costs.feedback_ms() if ctx.self_conditioning else 0.0
+    cached = (history, tf)
+    lru_put(db_cache, key, cached, _CHAIN_CACHE_MAX_TABLES)
+    return cached
 
 
 def _solve_chain(
-    ctx: PartitionContext, costs: StageCosts, L: int, S: int
+    ctx: PartitionContext, r: int, L: int, S: int
 ) -> tuple[list[tuple[int, int]], float, float, float, float]:
     """Pareto DP over prefixes for a fixed replica count.
 
     Returns (stage slices, W, W_sc, Y, objective).
     """
-    history = _chain_frontiers(ctx, costs, L, S)
+    history, tf = _chain_frontiers(ctx, r, L, S)
     final = history[S][L]
     if not final:
         raise PartitionError(
             f"no feasible partition of {L} layers into {S} stages"
         )
-    tf = costs.feedback_ms() if ctx.self_conditioning else 0.0
     best = min(
         final,
         key=lambda e: (_objective(ctx, S, e[0], e[1], e[2], tf), e[0], e[2]),
@@ -411,20 +460,22 @@ def _solve_chain(
 class _LazyStageCosts:
     """On-demand :class:`StageCosts` per replica count.
 
-    The heterogeneous DP only ever touches replica counts that some
+    The heterogeneous DPs only ever touch replica counts that some
     feasible assignment can use (``r <= D - S + 1``); building the
     O(L) prefix sums for the rest — as the eager ``costs_by_r`` dict
-    used to — is pure waste.
+    used to — is pure waste.  ``build`` lets variants substitute their
+    own evaluator (the bidirectional DP's comm-scaled one).
     """
 
-    def __init__(self, ctx: PartitionContext):
+    def __init__(self, ctx: PartitionContext, build=StageCosts):
         self._ctx = ctx
+        self._build = build
         self._by_r: dict[int, StageCosts] = {}
 
     def __call__(self, r: int) -> StageCosts:
         costs = self._by_r.get(r)
         if costs is None:
-            costs = self._by_r[r] = StageCosts(self._ctx, r)
+            costs = self._by_r[r] = self._build(self._ctx, r)
         return costs
 
 
@@ -471,7 +522,10 @@ def _het_frontiers(
         D,
         ctx.micro_batch,
         ctx.p2p,
-        ctx.allreduce,
+        # One heterogeneous table spans every replica count, so the key
+        # carries the sync model's identity (the resolver's constant
+        # tuple, or the flat CommCosts pair when no resolver is set).
+        ctx.sync_key,
         ctx.self_conditioning,
     )
     cached = lru_get(db_cache, key)

@@ -16,6 +16,14 @@ and the objective is ``(M_CDM + 2S - 2) W + Y`` (Eqn. 12) with
 ``M_CDM = M_down + M_up`` paired forward/backward stages in the stable
 phase.
 
+Replication comes in two flavours, mirroring the single-backbone
+partitioner: the default pins every chain position to ``r = D / S``
+devices (the paper's evaluation setting), while ``heterogeneous=True``
+lets each position pick its own replica count — shared by the
+co-located down and up stages, which live on the same devices — with
+the devices-consumed count joining the DP state (the general recursion
+of Eqns. 7-9 applied to the bidirectional objective).
+
 Models with more than two backbones are split into two direction groups
 whose stage chains are concatenated (§4.2's grouping rule); see
 :func:`group_backbones`.
@@ -30,21 +38,33 @@ from weakref import WeakKeyDictionary
 from ..errors import ConfigurationError, PartitionError
 from ..profiling.records import ProfileDB
 from .lru import lru_get, lru_put
-from .partition import PartitionContext, StageCosts, pareto_insert
+from .partition import (
+    PartitionContext,
+    StageCosts,
+    _LazyStageCosts,
+    pareto_insert,
+)
 from .plan import PartitionPlan, StageAssignment
 
 #: the paper enlarges communication by 2x for bidirectional pipelines
 CDM_COMM_SCALE = 2.0
 
-#: per-ProfileDB memo of CDM DP tables (see ``_cdm_frontiers``): like
-#: the single-backbone frontier cache, the table is independent of the
-#: micro-batch counts, which only scale the final objective selection.
-#: The per-profile dict is a bounded LRU like its partition.py siblings:
-#: the stage-local batch keys are continuous floats, so a long-lived
-#: service sweeping arbitrary batches must not pin O(S * L^2) tables
-#: without bound.
+#: per-ProfileDB memo of uniform-replication CDM DP tables (see
+#: ``_cdm_frontiers``): like the single-backbone frontier cache, the
+#: table is independent of the micro-batch counts, which only scale the
+#: final objective selection.  The per-profile dict is a bounded LRU
+#: like its partition.py siblings: the stage-local batch keys are
+#: continuous floats, so a long-lived service sweeping arbitrary batches
+#: must not pin O(S * L^2) tables without bound.
 _CDM_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
 _CDM_CACHE_MAX_TABLES = 256
+
+#: per-ProfileDB memo of heterogeneous CDM DP tables (see
+#: ``_cdm_het_frontiers``), mirroring ``_HET_CACHE`` in partition.py:
+#: keys carry the per-group micro-batch (per-``r`` local batches are
+#: derived inside) and the device count, but not the micro-batch counts.
+_CDM_HET_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
+_CDM_HET_CACHE_MAX_TABLES = 256
 
 
 @dataclass(frozen=True)
@@ -55,6 +75,11 @@ class CDMPartitionContext:
     communication constants; their ``component`` fields name the two
     backbones.  Communication inside stage costs is scaled by
     ``comm_scale`` to model link competition.
+
+    Both contexts must agree on the micro-batch count: the bidirectional
+    schedule runs ``M`` paired micro-batches per direction, and the
+    objective coefficient ``M_CDM = M_down + M_up`` must describe the
+    same schedule the planner simulates.
     """
 
     down: PartitionContext
@@ -64,6 +89,13 @@ class CDMPartitionContext:
     def __post_init__(self) -> None:
         if self.down.num_micro_batches <= 0 or self.up.num_micro_batches <= 0:
             raise ConfigurationError("micro-batch counts must be positive")
+        if self.down.num_micro_batches != self.up.num_micro_batches:
+            raise ConfigurationError(
+                "bidirectional pipelines run equal micro-batch counts in "
+                f"both directions (got down={self.down.num_micro_batches}, "
+                f"up={self.up.num_micro_batches}); the schedule builder and "
+                "the Eqn. 12 coefficient would otherwise disagree"
+            )
         if self.comm_scale <= 0:
             raise ConfigurationError("comm_scale must be positive")
 
@@ -84,6 +116,147 @@ class _ScaledCosts(StageCosts):
         return super().boundary_comm_ms(lo, forwards) * self._comm_scale
 
 
+def _lazy_scaled_costs(ctx: PartitionContext, comm_scale: float):
+    """Per-replica-count :class:`_ScaledCosts`, built on first use."""
+    return _LazyStageCosts(ctx, lambda c, r: _ScaledCosts(c, r, comm_scale))
+
+
+def _cut_points(n: int, cut_step: int) -> list[int]:
+    """Boundary positions allowed by ``cut_step`` (chain ends always)."""
+    return sorted({p for p in range(0, n + 1) if p % cut_step == 0} | {0, n})
+
+
+def _min_gap(pts: list[int]) -> int:
+    """Smallest positive slice the cut grid admits."""
+    return min(b - a for a, b in zip(pts, pts[1:]))
+
+
+def _seg_eval(costs_for):
+    """Lazy per-``(r, lo, hi)`` segment ``(t0, sync_gap)`` memo.
+
+    The eager predecessor tabulated every cut-point pair up front; the
+    DPs' feasibility pruning touches far fewer slices (only lengths
+    ``<= L - (S-1) * min-cut`` can appear in a completable partition),
+    so slices are now evaluated on first use and memoized.  The uniform
+    DP calls it with its one fixed replica count; the heterogeneous DP
+    spans every ``r``.
+    """
+    memo: dict[tuple[int, int, int], tuple[float, float]] = {}
+
+    def get(r: int, lo: int, hi: int) -> tuple[float, float]:
+        key = (r, lo, hi)
+        v = memo.get(key)
+        if v is None:
+            costs = costs_for(r)
+            v = memo[key] = (costs.t0(lo, hi), costs.sync_gap(lo, hi))
+        return v
+
+    return get
+
+
+def _cdm_dp_table(
+    ctx: CDMPartitionContext,
+    S: int,
+    *,
+    cut_step: int,
+    max_frontier: int,
+    ld: int,
+    lu: int,
+    D: int,
+    r_cap: int,
+    fixed_r: int | None,
+) -> list[dict[tuple[int, int, int], list[tuple]]]:
+    """Shared DP engine for both replication flavours.
+
+    ``frontiers[k][(a, b, d)]`` is the Pareto set of
+    (W, Y, prev_a, prev_b, replicas, parent_index) after placing ``k``
+    chain positions with down prefix ``a``, up suffix ``b`` and ``d``
+    devices consumed.  Each position's replica count is shared by its
+    co-located down and up stages — they live on the same devices.
+    ``fixed_r`` pins every position to one count (uniform replication;
+    the device coordinate is then deterministic); ``fixed_r=None`` lets
+    each position choose ``r`` within the device budget and ``r_cap``.
+    Entries are immutable: callers must only read them.
+    """
+    eval_d = _seg_eval(_lazy_scaled_costs(ctx.down, ctx.comm_scale))
+    eval_u = _seg_eval(_lazy_scaled_costs(ctx.up, ctx.comm_scale))
+
+    cuts_d = _cut_points(ld, cut_step)
+    # Up-backbone boundaries are addressed as suffix lengths ``b``; the
+    # layer positions they induce are ``lu - b``.
+    cuts_u = _cut_points(lu, cut_step)
+    pts_u = sorted({lu - b for b in cuts_u})
+
+    # Feasibility bounds from the cut grid: every stage covers at least
+    # one inter-cut gap, so no slice in a completable partition exceeds
+    # ``L - (S-1) * min-gap`` and a prefix must leave the remaining
+    # positions ``remaining * min-gap`` layers of room.  States outside
+    # these bounds can never reach full coverage; pruning them shrinks
+    # the quadratic transition space without changing any reachable
+    # final frontier.
+    gap_d = _min_gap(cuts_d)
+    gap_u = _min_gap(pts_u)
+    max_len_d = ld - (S - 1) * gap_d
+    max_len_u = lu - (S - 1) * gap_u
+
+    frontiers: list[dict[tuple[int, int, int], list[tuple]]] = [
+        {(0, 0, 0): [(0.0, float("-inf"), -1, -1, 0, -1)]}
+    ]
+    for k in range(1, S + 1):
+        cur: dict[tuple[int, int, int], list[tuple]] = {}
+        remaining = S - k
+        room_d = ld - remaining * gap_d
+        room_u = lu - remaining * gap_u
+        for (pa, pb, pd), parents in frontiers[k - 1].items():
+            if fixed_r is not None:
+                r_iter = (fixed_r,)
+            else:
+                # Device-count pruning: every remaining position needs
+                # at least one device, so replica counts beyond
+                # ``D - pd - remaining`` lead to unreachable states and
+                # are never generated (nor their prefix sums built).
+                max_r = min(D - pd - remaining, r_cap)
+                if max_r <= 0:
+                    continue
+                r_iter = range(1, max_r + 1)
+            # Down stage k-1 covers [pa, a); up stage S-k covers
+            # [lu - b, lu - pb).
+            if remaining:
+                hi_a = min(room_d, pa + max_len_d)
+                hi_b = min(room_u, pb + max_len_u)
+                a_iter = [a for a in cuts_d if pa < a <= hi_a]
+                b_iter = [b for b in cuts_u if pb < b <= hi_b]
+            else:
+                # Last position: only full-coverage states can become a
+                # feasible plan; partial pairs are dead states.
+                a_iter = (ld,)
+                b_iter = (lu,)
+            for a in a_iter:
+                for r in r_iter:
+                    td, gd = eval_d(r, pa, a)
+                    for b in b_iter:
+                        tu, gu = eval_u(r, lu - b, lu - pb)
+                        w_stage = max(td, tu)
+                        y_stage = max(gd, gu)
+                        skey = (a, b, pd + r)
+                        frontier = cur.setdefault(skey, [])
+                        for pi, parent in enumerate(parents):
+                            cand = (
+                                max(parent[0], w_stage),
+                                max(parent[1], y_stage),
+                                pa,
+                                pb,
+                                r,
+                                pi,
+                            )
+                            pareto_insert(frontier, cand, 2)
+                        if len(frontier) > max_frontier:
+                            frontier.sort(key=lambda e: (e[0], e[1]))
+                            del frontier[max_frontier:]
+        frontiers.append(cur)
+    return frontiers
+
+
 def _cdm_frontiers(
     ctx: CDMPartitionContext,
     S: int,
@@ -93,15 +266,15 @@ def _cdm_frontiers(
     max_frontier: int,
     ld: int,
     lu: int,
-) -> list[dict[tuple[int, int], list[tuple]]]:
-    """The (memoized) CDM DP table.
+) -> list[dict[tuple[int, int, int], list[tuple]]]:
+    """The (memoized) uniform-replication CDM DP table.
 
-    ``frontiers[k][(a, b)]`` is the Pareto set of
-    (W, Y, prev_a, prev_b, parent_index) after placing ``k`` chain
-    positions with down prefix ``a`` and up suffix ``b`` assigned.
-    Entries are immutable: callers must only read them.  The table
-    depends on stage costs (local batches, comm constants, comm scale)
-    but not on the micro-batch counts.
+    A :func:`_cdm_dp_table` run with every position pinned to ``r``
+    replicas.  The table depends on stage costs (local batches, comm
+    constants, comm scale) but not on the micro-batch counts, so it is
+    keyed by the stage-local batches — two (micro-batch, r) combos
+    sharing a local batch and sync constants share one table (the
+    backtracker applies its caller's own ``r`` to the assignments).
     """
     cacheable = ctx.down.profile is ctx.up.profile
     db_cache = None
@@ -119,9 +292,12 @@ def _cdm_frontiers(
         ctx.down.micro_batch / r,
         ctx.up.micro_batch / r,
         ctx.down.p2p,
-        ctx.down.allreduce,
+        # Sync constants resolved for the uniform replica count: with a
+        # per-replica-count resolver these differ across r even at one
+        # stage-local batch, so the flat pair must not stand in.
+        ctx.down.allreduce_for(r),
         ctx.up.p2p,
-        ctx.up.allreduce,
+        ctx.up.allreduce_for(r),
         ctx.comm_scale,
         cut_step,
         max_frontier,
@@ -130,79 +306,160 @@ def _cdm_frontiers(
         cached = lru_get(db_cache, key)
         if cached is not None:
             return cached
-    down_costs = _ScaledCosts(ctx.down, r, ctx.comm_scale)
-    up_costs = _ScaledCosts(ctx.up, r, ctx.comm_scale)
-
-    def cut_points(n: int) -> list[int]:
-        """Interior boundary positions allowed by ``cut_step``."""
-        pts = sorted({p for p in range(0, n + 1) if p % cut_step == 0} | {0, n})
-        return pts
-
-    cuts_d = cut_points(ld)
-    # Up-backbone boundaries are addressed as suffix lengths ``b``; the
-    # layer positions they induce are ``lu - b``.
-    cuts_u = cut_points(lu)
-    pts_u = sorted({lu - b for b in cuts_u})
-
-    # Pre-compute per-slice stage bounds for both backbones.
-    def slice_tables(costs: StageCosts, pts: list[int]):
-        t0 = {}
-        gap = {}
-        for i, a in enumerate(pts):
-            for b in pts[i + 1:]:
-                t0[(a, b)] = costs.t0(a, b)
-                gap[(a, b)] = costs.sync_gap(a, b)
-        return t0, gap
-
-    t0_d, gap_d = slice_tables(down_costs, cuts_d)
-    t0_u, gap_u = slice_tables(up_costs, pts_u)
-
-    # DP over chain positions.  State (a, b): down prefix a assigned,
-    # up suffix of length b assigned.  Frontier entries:
-    # (W, Y, prev_a, prev_b, parent_index).
-    frontiers: list[dict[tuple[int, int], list[tuple]]] = [
-        {(0, 0): [(0.0, float("-inf"), -1, -1, -1)]}
-    ]
-    for k in range(1, S + 1):
-        cur: dict[tuple[int, int], list[tuple]] = {}
-        remaining = S - k
-        for (pa, pb), parents in frontiers[k - 1].items():
-            # Down stage k-1 covers [pa, a); up stage S-k covers
-            # [lu - b, lu - pb).
-            for a in cuts_d:
-                if a <= pa or a > ld - remaining:
-                    continue
-                if remaining > 0 and a == ld:
-                    continue
-                td = t0_d[(pa, a)]
-                gd = gap_d[(pa, a)]
-                for b in cuts_u:
-                    if b <= pb or b > lu - remaining:
-                        continue
-                    u_lo, u_hi = lu - b, lu - pb
-                    tu = t0_u[(u_lo, u_hi)]
-                    gu = gap_u[(u_lo, u_hi)]
-                    w_stage = max(td, tu)
-                    y_stage = max(gd, gu)
-                    skey = (a, b)
-                    frontier = cur.setdefault(skey, [])
-                    for pi, parent in enumerate(parents):
-                        cand = (
-                            max(parent[0], w_stage),
-                            max(parent[1], y_stage),
-                            pa,
-                            pb,
-                            pi,
-                        )
-                        pareto_insert(frontier, cand, 2)
-                    if len(frontier) > max_frontier:
-                        frontier.sort(key=lambda e: (e[0], e[1]))
-                        del frontier[max_frontier:]
-        frontiers.append(cur)
-
+    frontiers = _cdm_dp_table(
+        ctx, S, cut_step=cut_step, max_frontier=max_frontier, ld=ld, lu=lu,
+        D=S * r, r_cap=r, fixed_r=r,
+    )
     if db_cache is not None:
         lru_put(db_cache, key, frontiers, _CDM_CACHE_MAX_TABLES)
     return frontiers
+
+
+def _cdm_het_frontiers(
+    ctx: CDMPartitionContext,
+    S: int,
+    D: int,
+    *,
+    cut_step: int,
+    max_frontier: int,
+    ld: int,
+    lu: int,
+) -> list[dict[tuple[int, int, int], list[tuple]]]:
+    """The (memoized) heterogeneous CDM DP table (Eqns. 7-9 applied to
+    the bidirectional objective).
+
+    A :func:`_cdm_dp_table` run with free per-position replica counts.
+    Like the uniform table, the frontier values depend on the per-group
+    micro-batch (per-``r`` local batches are derived inside) but not on
+    the micro-batch counts, which only scale the final selection.
+    """
+    cacheable = ctx.down.profile is ctx.up.profile
+    db_cache = None
+    if cacheable:
+        db_cache = _CDM_HET_CACHE.get(ctx.down.profile)
+        if db_cache is None:
+            db_cache = _CDM_HET_CACHE.setdefault(
+                ctx.down.profile, OrderedDict()
+            )
+    key = (
+        ctx.down.component,
+        ctx.up.component,
+        S,
+        D,
+        ctx.down.micro_batch,
+        ctx.up.micro_batch,
+        ctx.down.p2p,
+        # One table spans every replica count, so the key carries the
+        # sync model's identity (the per-r resolver's constant tuple, or
+        # the flat CommCosts pair), exactly like ``_HET_CACHE``.
+        ctx.down.sync_key,
+        ctx.up.p2p,
+        ctx.up.sync_key,
+        ctx.comm_scale,
+        cut_step,
+        max_frontier,
+    )
+    if db_cache is not None:
+        cached = lru_get(db_cache, key)
+        if cached is not None:
+            return cached
+    # Physical feasibility: every replica of either co-located stage
+    # must see at least one sample per micro-batch (the same floor the
+    # single-backbone DPs enforce).  Larger r always lowers a stage's
+    # modeled compute, so without this cap the DP would happily pick
+    # unrunnable sub-sample local batches.
+    r_cap = int(min(ctx.down.micro_batch, ctx.up.micro_batch))
+    frontiers = _cdm_dp_table(
+        ctx, S, cut_step=cut_step, max_frontier=max_frontier, ld=ld, lu=lu,
+        D=D, r_cap=r_cap, fixed_r=None,
+    )
+    if db_cache is not None:
+        lru_put(db_cache, key, frontiers, _CDM_HET_CACHE_MAX_TABLES)
+    return frontiers
+
+
+def _cdm_select_plan(
+    ctx: CDMPartitionContext,
+    S: int,
+    D: int,
+    frontiers: list[dict[tuple[int, int, int], list[tuple]]],
+    ld: int,
+    lu: int,
+    *,
+    replicas: int | None,
+) -> PartitionPlan:
+    """Final objective selection + backtrack over a CDM DP table.
+
+    ``replicas`` overrides the per-position count for uniform tables —
+    they may be shared across (micro-batch, r) combos with one stage-
+    local batch, so the entries' own ``r`` labels the *builder's* call,
+    not necessarily this one.  ``None`` keeps each entry's count
+    (heterogeneous tables).
+    """
+    # Accept any full assignment covering both chains; devices may be
+    # partially used but using all of them never hurts, so prefer d = D.
+    finals = [
+        (state, e)
+        for state, entries in frontiers[S].items()
+        if state[0] == ld and state[1] == lu
+        for e in entries
+    ]
+    if not finals:
+        flavour = "heterogeneous bidirectional" if replicas is None else (
+            "bidirectional"
+        )
+        raise PartitionError(
+            f"no feasible {flavour} partition into {S} stages on {D} devices"
+        )
+    coeff = ctx.m_cdm + 2 * S - 2
+    best_state, best = min(
+        finals,
+        key=lambda se: (coeff * se[1][0] + se[1][1], se[1][0], -se[0][2]),
+    )
+    obj = coeff * best[0] + best[1]
+
+    # Backtrack both chains plus the per-position replica counts.  The
+    # loop walks chain positions S-1..0; down slices are collected in
+    # reverse chain order, while the up slice of position S-1-j is up
+    # stage j, so the up collection is already in stage order.
+    down_cuts: list[tuple[int, int, int]] = []
+    up_cuts: list[tuple[int, int, int]] = []
+    a, b, d, entry = ld, lu, best_state[2], best
+    for k in range(S, 0, -1):
+        pa, pb, r = entry[2], entry[3], entry[4]
+        pos_r = replicas if replicas is not None else r
+        down_cuts.append((pa, a, pos_r))
+        up_cuts.append((lu - b, lu - pb, pos_r))
+        entry = frontiers[k - 1][(pa, pb, d - r)][entry[5]]
+        a, b, d = pa, pb, d - r
+    down_cuts.reverse()
+
+    down = tuple(
+        StageAssignment(ctx.down.component, lo, hi, replicas=r)
+        for lo, hi, r in down_cuts
+    )
+    up = tuple(
+        StageAssignment(ctx.up.component, lo, hi, replicas=r)
+        for lo, hi, r in up_cuts
+    )
+    for chain in (down, up):
+        for i in range(1, len(chain)):
+            if chain[i].lo != chain[i - 1].hi:
+                raise PartitionError(
+                    "backtracking produced a non-contiguous chain"
+                )
+    return PartitionPlan(
+        down=down,
+        up=up,
+        num_stages=S,
+        num_micro_batches=ctx.down.num_micro_batches,
+        group_size=D,
+        batch_per_group=ctx.down.batch_per_group,
+        t_max_ms=obj,
+        w_ms=best[0],
+        y_ms=best[1],
+        self_conditioning=False,
+    )
 
 
 def partition_cdm(
@@ -212,10 +469,15 @@ def partition_cdm(
     *,
     cut_step: int = 1,
     max_frontier: int = 8,
+    heterogeneous: bool = False,
 ) -> PartitionPlan:
     """Optimal bidirectional partition of two backbones (Eqns. 13-16).
 
-    Homogeneous replication (r = D / S) as in the paper's evaluation.
+    With ``heterogeneous=False`` every chain position replicates on
+    ``group_size / num_stages`` devices (the paper's evaluation
+    setting); with ``heterogeneous=True`` each position picks its own
+    replica count — shared by its co-located down and up stages — so
+    non-divisible ``(S, D)`` combinations become plannable.
 
     ``cut_step > 1`` restricts stage boundaries to multiples of the step
     (chain ends always allowed), shrinking the O(L^2) transition space
@@ -230,9 +492,8 @@ def partition_cdm(
         raise ConfigurationError("num_stages and group_size must be positive")
     if cut_step <= 0:
         raise ConfigurationError("cut_step must be positive")
-    if D % S != 0:
-        raise PartitionError(f"homogeneous replication needs S | D (S={S}, D={D})")
-    r = D // S
+    if S > D:
+        raise PartitionError(f"cannot place {S} stages on {D} devices")
 
     ld = ctx.down.profile.num_layers(ctx.down.component)
     lu = ctx.up.profile.num_layers(ctx.up.component)
@@ -241,54 +502,33 @@ def partition_cdm(
             f"cannot cut backbones of {ld}/{lu} layers into {S} stages"
         )
 
+    if heterogeneous:
+        frontiers = _cdm_het_frontiers(
+            ctx, S, D, cut_step=cut_step, max_frontier=max_frontier,
+            ld=ld, lu=lu,
+        )
+        return _cdm_select_plan(
+            ctx, S, D, frontiers, ld, lu, replicas=None
+        )
+
+    if D % S != 0:
+        raise PartitionError(
+            f"uniform CDM replication needs S | D (got S={S}, D={D}); "
+            "use heterogeneous=True otherwise"
+        )
+    r = D // S
+    if ctx.down.micro_batch < r or ctx.up.micro_batch < r:
+        # Same per-replica sample floor the heterogeneous DP enforces
+        # (r_cap), keeping the het-CDM <= uniform-CDM invariant exact.
+        raise PartitionError(
+            f"uniform replication r={r} needs at least {r} samples per "
+            f"micro-batch in both directions (got "
+            f"{ctx.down.micro_batch:g}/{ctx.up.micro_batch:g})"
+        )
     frontiers = _cdm_frontiers(
         ctx, S, r, cut_step=cut_step, max_frontier=max_frontier, ld=ld, lu=lu
     )
-
-    final = frontiers[S].get((ld, lu), [])
-    if not final:
-        raise PartitionError(
-            f"no feasible bidirectional partition into {S} stages"
-        )
-    coeff = ctx.m_cdm + 2 * S - 2
-    best = min(final, key=lambda e: (coeff * e[0] + e[1], e[0]))
-    obj = coeff * best[0] + best[1]
-
-    # Backtrack both chains.
-    down_cuts: list[tuple[int, int]] = []
-    up_cuts: list[tuple[int, int]] = []
-    a, b, entry = ld, lu, best
-    for k in range(S, 0, -1):
-        pa, pb = entry[2], entry[3]
-        down_cuts.append((pa, a))
-        up_cuts.append((lu - b, lu - pb))
-        entry = frontiers[k - 1][(pa, pb)][entry[4]]
-        a, b = pa, pb
-    down_cuts.reverse()
-    # up stage index j runs the slice assigned at chain position S-1-j;
-    # up_cuts was collected for positions S-1..0, i.e. up stages 0..S-1.
-    up_slices = up_cuts
-
-    down = tuple(
-        StageAssignment(ctx.down.component, lo, hi, replicas=r)
-        for lo, hi in down_cuts
-    )
-    up = tuple(
-        StageAssignment(ctx.up.component, lo, hi, replicas=r)
-        for lo, hi in up_slices
-    )
-    return PartitionPlan(
-        down=down,
-        up=up,
-        num_stages=S,
-        num_micro_batches=ctx.down.num_micro_batches,
-        group_size=D,
-        batch_per_group=ctx.down.batch_per_group,
-        t_max_ms=obj,
-        w_ms=best[0],
-        y_ms=best[1],
-        self_conditioning=False,
-    )
+    return _cdm_select_plan(ctx, S, D, frontiers, ld, lu, replicas=r)
 
 
 def group_backbones(

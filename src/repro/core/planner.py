@@ -20,6 +20,7 @@ from __future__ import annotations
 import weakref
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
+from fractions import Fraction
 from typing import Iterator, Sequence
 
 from ..cluster.collectives import CollectiveModel, CommCosts
@@ -171,40 +172,45 @@ class DiffusionPipePlanner:
     # -- search space -------------------------------------------------------------
 
     def candidate_configs(self, global_batch: float) -> Iterator[tuple[int, int, int]]:
-        """Yield feasible (D, S, M) combinations for a global batch."""
+        """Yield feasible (D, S, M) combinations for a global batch.
+
+        Divisibility is tested exactly: the batch enters as a
+        :class:`~fractions.Fraction` and the per-group quotient stays
+        rational, so binary-float rounding (``global_batch / dp`` is the
+        only inexact step of the float formulation) can neither reject a
+        feasible split nor admit one whose micro-batches are fractional.
+        """
         world = self.cluster.world_size
         opts = self.options
         group_sizes = opts.group_sizes or tuple(
             d for d in range(2, world + 1) if world % d == 0
         )
-        # Per-stage replica counts are a single-backbone (1F1B) feature:
-        # the bidirectional CDM partitioner assumes uniform replicas, so
-        # non-divisible (S, D) combos would only produce cached
-        # PartitionErrors for cascaded models.
-        het = (
-            opts.heterogeneous_replication
-            and len(self.model.backbone_names) == 1
-        )
+        # Per-stage replica counts apply to both pipeline flavours: the
+        # single-backbone (1F1B) DP and the bidirectional CDM DP both
+        # implement the general recursion (Eqns. 7-9), so non-divisible
+        # (S, D) combos are admissible for cascaded models too.
+        het = opts.heterogeneous_replication
+        gb = Fraction(global_batch)
         for D in group_sizes:
             if D < 2 or D > world or world % D != 0:
                 continue
             dp = world // D
-            if global_batch % dp != 0:
+            if gb % dp:
                 continue
-            batch_per_group = global_batch / dp
+            batch_per_group = gb / dp
             for S in range(2, min(opts.max_stages, D) + 1):
                 if not het and D % S != 0:
                     continue
                 # Per-replica batch floor: homogeneous replication pins
                 # r = D/S, so the micro-batch must cover it; the
-                # heterogeneous DP picks per-stage replicas itself
+                # heterogeneous DPs pick per-stage replicas themselves
                 # (capped at floor(micro_batch)), so any micro-batch of
                 # at least one sample is admissible.
                 r = 1 if het else max(D // S, 1)
                 for M in opts.micro_batch_counts:
-                    if batch_per_group % M != 0:
+                    if batch_per_group % M:
                         continue
-                    if batch_per_group / M / r < 1:
+                    if batch_per_group / (M * r) < 1:
                         continue
                     yield (D, S, M)
 
@@ -258,6 +264,13 @@ class DiffusionPipePlanner:
         if world % D != 0:
             raise ConfigurationError(f"group size {D} !| world {world}")
         dp = world // D
+        # Float quotient: the cost model (profiling interpolation,
+        # schedule times, cache keys) runs on floats throughout, so the
+        # plan is evaluated at the nearest-float of the exact per-group
+        # batch.  Divisibility of the *true* rational split is certified
+        # exactly by candidate_configs; past 2^53 samples the value here
+        # can round off that certified integer, which perturbs modeled
+        # costs by at most 1 ulp but never feasibility decisions.
         batch_per_group = global_batch / dp
 
         try:
@@ -401,14 +414,20 @@ class DiffusionPipePlanner:
         self, batch_per_group: float, D: int, S: int, M: int
     ) -> PartitionPlan:
         p2p = self._p2p_costs(D)
-        # The partition DP prices every stage's gradient sync with one
-        # CommCosts (a per-replica-count sync model is a ROADMAP item).
-        # Use the representative r = round(D/S) rather than 1 for
-        # non-divisible combos: with dp == 1, r=1 would be a
-        # single-rank (free) allreduce and the DP's whole sync-gap
-        # term would degenerate to zero.
-        r = D // S if D % S == 0 else max(round(D / S), 1)
-        ar = self._allreduce_costs(D, r)
+        # Per-replica-count sync model: the DPs resolve every candidate
+        # stage's all-reduce constants through this callback, so the Y
+        # term prices Eqn. 4 faithfully for each replica count instead
+        # of reusing one representative pair.  The key names the
+        # callback's constants — (cluster, D) determine the sync group
+        # of every r — standing in for the (unhashable) callable in the
+        # per-profile DP memo keys.
+        ar_by_r = lambda r: self._allreduce_costs(D, r)  # noqa: E731
+        ar_key = ("ar", self.cluster, D)
+        # Flat-pair fallback, unread while the resolver is set: every
+        # cost path resolves through allreduce_for.  Filled with the
+        # uniform stage's constants so direct readers of the context see
+        # a representative value.
+        ar = ar_by_r(max(D // S, 1))
         names = self.model.backbone_names
         if len(names) == 1:
             ctx = PartitionContext(
@@ -420,6 +439,8 @@ class DiffusionPipePlanner:
                 allreduce=ar,
                 self_conditioning=self.model.self_conditioning,
                 self_conditioning_prob=self.model.self_conditioning_prob,
+                allreduce_by_r=ar_by_r,
+                allreduce_key=ar_key,
             )
             return partition_backbone(
                 ctx, S, D, heterogeneous=self.options.heterogeneous_replication
@@ -431,6 +452,8 @@ class DiffusionPipePlanner:
             num_micro_batches=M,
             p2p=p2p,
             allreduce=ar,
+            allreduce_by_r=ar_by_r,
+            allreduce_key=ar_key,
         )
         ctx_up = replace(ctx_down, component=names[1])
         return partition_cdm(
@@ -438,6 +461,7 @@ class DiffusionPipePlanner:
             S,
             D,
             cut_step=self.options.cdm_cut_step,
+            heterogeneous=self.options.heterogeneous_replication,
         )
 
     def _stage_execs(
@@ -570,10 +594,25 @@ class DiffusionPipePlanner:
         M = partition.num_micro_batches
         S = partition.num_stages
         D = partition.group_size
-        weights = {i: partition.down[i].replicas for i in range(S)}
         if partition.is_bidirectional:
+            # Chain position i hosts the down chain's stage i AND the up
+            # chain's stage S-1-i on the same devices, so the simulator's
+            # per-device weight must reflect both (they agree by
+            # construction — the partitioner assigns one replica count
+            # per position — but deriving from one chain only would go
+            # silently wrong if that ever changed).
+            weights = {
+                i: max(
+                    partition.down[i].replicas,
+                    partition.up[S - 1 - i].replicas,
+                )
+                for i in range(S)
+            }
             down = self._stage_execs(partition.down, micro, sc=False, group_size=D)
             up = self._stage_execs(partition.up, micro, sc=False, group_size=D)
+            # The up-chain stage execs (and therefore their replica
+            # counts) are part of the key, alongside the two-sided
+            # device weights.
             tl_key = ("bi", tuple(down), tuple(up), M, S, tuple(sorted(weights.items())))
             timeline = _get_timeline(tl_key)
             if timeline is None:
@@ -581,6 +620,7 @@ class DiffusionPipePlanner:
                 timeline = simulate(tasks, S, weights)
                 _cache_timeline(tl_key, timeline)
         else:
+            weights = {i: partition.down[i].replicas for i in range(S)}
             stages = self._stage_execs(partition.down, micro, sc=sc, group_size=D)
             feedback = (
                 self._feedback_ms(partition.down, micro, group_size=D)

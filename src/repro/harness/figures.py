@@ -235,7 +235,12 @@ def ablation_throughputs(
     options: PlannerOptions | None = None,
     heterogeneous: bool = False,
 ) -> dict[str, dict[int, float]]:
-    """DiffusionPipe vs partial-batch-disabled vs filling-disabled."""
+    """DiffusionPipe vs partial-batch-disabled vs filling-disabled.
+
+    Works for cascaded models too; with ``heterogeneous=True`` the
+    planner admits non-divisible (S, D) combos for both the 1F1B and
+    the bidirectional CDM partitioners.
+    """
     base = options or PlannerOptions(
         max_stages=4, micro_batch_counts=(1, 2, 3, 4, 6, 8), group_sizes=(2, 4, 8)
     )

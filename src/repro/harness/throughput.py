@@ -164,17 +164,20 @@ class CDMThroughputSweep:
         machine_counts: Sequence[int] = (1, 2, 4, 8),
         batches: Mapping[int, tuple[int, ...]] | None = None,
         planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
+        heterogeneous: bool = False,
     ):
-        # No ``heterogeneous`` convenience flag here (unlike
-        # ThroughputSweep): the bidirectional CDM partitioner assumes
-        # uniform replicas and the planner keeps non-divisible (S, D)
-        # combos out of the sweep for cascaded models, so the flag would
-        # be a silent no-op.  Callers with single-backbone models can
-        # still set ``heterogeneous_replication`` via planner_options.
         self.model = model_factory()
         self.machine_counts = tuple(machine_counts)
         self.batches = dict(batches or CDM_LSUN_BATCHES)
-        self.planner_options = planner_options
+        # ``heterogeneous`` lets the planner evaluate non-divisible
+        # (S, D) combos: the bidirectional partitioner assigns each
+        # chain position its own replica count, shared by the co-located
+        # down/up stages.
+        self.planner_options = (
+            replace(planner_options, heterogeneous_replication=True)
+            if heterogeneous
+            else planner_options
+        )
         self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
         self.caches = PlannerCaches()
 

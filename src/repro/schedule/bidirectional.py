@@ -51,6 +51,16 @@ def build_bidirectional(
             f"(got {len(down)} and {len(up)})"
         )
     S = len(down)
+    for i in range(S):
+        # Chain position i hosts down stage i and up stage S-1-i on the
+        # same physical devices, so their replica counts must agree —
+        # heterogeneous partitions assign one count per position.
+        if down[i].replicas != up[S - 1 - i].replicas:
+            raise ConfigurationError(
+                f"co-located stages disagree on replication at device {i}: "
+                f"down stage {i} has {down[i].replicas} replicas, up stage "
+                f"{S - 1 - i} has {up[S - 1 - i].replicas}"
+            )
     tasks = build_1f1b(
         down,
         num_micro_batches_down,

@@ -55,6 +55,13 @@ def simulate(
     :func:`simulate_reference`.  Raises :class:`ScheduleError` on
     malformed graphs (cycles, unknown dependencies) and
     :class:`SimulationError` on internal inconsistencies.
+
+    ``device_weights`` maps each logical device to the number of
+    physical devices it stands for (stage replication).  A logical
+    device may host stages of several pipelines — bidirectional chain
+    position ``i`` runs the down pipeline's stage ``i`` and the up
+    pipeline's stage ``S-1-i`` — so callers must derive the weight from
+    *all* stages hosted there, not just one chain's.
     """
     by_id = validate_task_graph(list(tasks))
     n = len(by_id)

@@ -60,4 +60,35 @@ def test_unknown_model_rejected():
 
 def test_bad_gpu_count():
     with pytest.raises(SystemExit):
+        main(["plan", "--model", "sd", "--gpus", "1"])
+    with pytest.raises(SystemExit):
+        # Beyond one machine the world must tile p4de nodes.
         main(["plan", "--model", "sd", "--gpus", "12"])
+
+
+def test_group_size_menu_respects_machine_boundaries():
+    """Pipeline groups are contiguous rank blocks, so the menu may only
+    offer sizes that tile a machine: on multi-machine p4de worlds a
+    D=3/D=6 group would straddle the inter-node link while being priced
+    off the first (intra-node) group."""
+    from repro.cli import _build_cluster, _group_sizes
+
+    assert _group_sizes(_build_cluster(8)) == (2, 4, 8)
+    assert _group_sizes(_build_cluster(16)) == (2, 4, 8)
+    assert _group_sizes(_build_cluster(24)) == (2, 4, 8)  # not 3, 6
+    # Single node: every divisor stays on the one machine.
+    assert _group_sizes(_build_cluster(6)) == (2, 3, 6)
+
+
+def test_plan_heterogeneous_cdm_non_divisible(capsys):
+    """The acceptance path: a cdm-* model on a non-divisible cluster
+    (D=6, up to 4 chain positions) plans end to end with
+    --heterogeneous instead of exiting."""
+    rc = main([
+        "plan", "--model", "cdm-lsun", "--gpus", "6", "--batch", "96",
+        "--heterogeneous",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "S=" in out and "D=" in out
+    assert "throughput" in out

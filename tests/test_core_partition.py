@@ -284,6 +284,79 @@ def test_heterogeneous_sc_feedback_not_pruned():
     assert [st.replicas for st in plan.down] == list(best[1]) == [1, 2]
 
 
+def test_per_replica_sync_model_resolved_in_stage_costs():
+    """With an ``allreduce_by_r`` resolver, StageCosts prices Eqn. 4
+    with the constants of its own replica count; without one it falls
+    back to the flat pair."""
+    import itertools
+
+    ar_by_r = lambda r: CommCosts(bandwidth=1e9 * r, latency=0.2 / r)  # noqa: E731
+    ctx = PartitionContext(
+        profile=make_synthetic_db(), component="backbone",
+        batch_per_group=64.0, num_micro_batches=4,
+        p2p=FAST_P2P, allreduce=FAST_AR,
+        allreduce_by_r=ar_by_r, allreduce_key=("t", 1e9, 0.2),
+    )
+    for r in (1, 2, 3):
+        assert StageCosts(ctx, r).sync_costs == ar_by_r(r)
+    flat = _ctx()
+    assert StageCosts(flat, 2).sync_costs == FAST_AR
+    with pytest.raises(ConfigurationError, match="allreduce_key"):
+        PartitionContext(
+            profile=make_synthetic_db(), component="backbone",
+            batch_per_group=64.0, num_micro_batches=4,
+            p2p=FAST_P2P, allreduce=FAST_AR, allreduce_by_r=ar_by_r,
+        )
+
+    # Brute force: the heterogeneous DP is optimal under the r-indexed
+    # sync model (each stage's Y term uses its own constants).
+    S, D = 2, 3
+    L = ctx.profile.num_layers("backbone")
+    plan = partition_backbone(ctx, S, D, heterogeneous=True)
+    best = float("inf")
+    for cut in itertools.combinations(range(1, L), S - 1):
+        slices = list(zip((0, *cut), (*cut, L)))
+        for rs in itertools.product(range(1, D + 1), repeat=S):
+            if sum(rs) > D:
+                continue
+            w = 0.0
+            y = float("-inf")
+            for (a, b), r in zip(slices, rs):
+                c = StageCosts(ctx, r)
+                w = max(w, c.t0(a, b))
+                y = max(y, c.sync_gap(a, b))
+            coeff = ctx.num_micro_batches + 2 * S - 2
+            best = min(best, coeff * w + y)
+    assert plan.t_max_ms == pytest.approx(best, rel=1e-9)
+
+
+def test_het_cache_keyed_by_sync_model():
+    """Two contexts differing only in their sync resolver constants
+    must not share a heterogeneous DP table."""
+    from repro.core.partition import _HET_CACHE
+
+    db = make_synthetic_db()
+
+    def ctx_with(key, scale):
+        return PartitionContext(
+            profile=db, component="backbone", batch_per_group=64.0,
+            num_micro_batches=4, p2p=FAST_P2P, allreduce=FAST_AR,
+            allreduce_by_r=lambda r: CommCosts(
+                bandwidth=scale * r, latency=0.1
+            ),
+            allreduce_key=key,
+        )
+
+    partition_backbone(ctx_with(("a", 1e9), 1e9), 2, 3, heterogeneous=True)
+    n = len(_HET_CACHE[db])
+    # Same constants: memo hit, no new table.
+    partition_backbone(ctx_with(("a", 1e9), 1e9), 2, 3, heterogeneous=True)
+    assert len(_HET_CACHE[db]) == n
+    # Different resolver constants: a new table.
+    partition_backbone(ctx_with(("a", 5e8), 5e8), 2, 3, heterogeneous=True)
+    assert len(_HET_CACHE[db]) == n + 1
+
+
 def test_stage_costs_validation():
     with pytest.raises(ConfigurationError):
         StageCosts(_ctx(), replicas=0)

@@ -190,6 +190,87 @@ def test_heterogeneous_floor_is_per_stage(uniform, uniform_profile):
     assert all(ev.plan.partition.micro_batch / st.replicas >= 1.0 for st in chain)
 
 
+def test_candidate_configs_exact_divisibility(uniform, uniform_profile):
+    """Divisibility is tested with exact rational arithmetic.  The old
+    float formulation computed ``batch_per_group = global_batch / dp``
+    with binary rounding: past 2^53 the quotient snaps to the nearest
+    representable float, so ``% M`` both rejected feasible splits and
+    admitted infeasible ones."""
+    from repro.cluster import single_node
+
+    planner = DiffusionPipePlanner(
+        uniform, single_node(16), uniform_profile,
+        _options(group_sizes=(8,), micro_batch_counts=(2, 3), max_stages=2),
+    )
+    # world 16, D=8 -> dp=2.  batch_per_group = 2^53 + 1 exactly — an
+    # odd multiple of 3 whose float rounds to the even 2^53.
+    global_batch = 2 * (2**53 + 1)
+    configs = set(planner.candidate_configs(global_batch))
+    # Feasible: (2^53 + 1) % 3 == 0; float arithmetic said 2 != 0.
+    assert (8, 2, 3) in configs
+    # Infeasible: 2^53 + 1 is odd; float arithmetic said % 2 == 0.
+    assert (8, 2, 2) not in configs
+
+
+def test_heterogeneous_flag_opens_non_divisible_cdm_configs(
+    cascaded, cascaded_profile
+):
+    """Cascaded models now participate in heterogeneous sweeps: the
+    bidirectional DP assigns per-position replica counts, so (S, D)
+    combos with S !| D are admitted and evaluate to valid plans."""
+    from repro.cluster import single_node
+
+    cluster = single_node(6)
+    opts = dict(group_sizes=(6,), micro_batch_counts=(1, 2), cdm_cut_step=1)
+    hom = DiffusionPipePlanner(
+        cascaded, cluster, cascaded_profile, _options(**opts)
+    )
+    het = DiffusionPipePlanner(
+        cascaded, cluster, cascaded_profile,
+        _options(heterogeneous_replication=True, **opts),
+    )
+    hom_configs = set(hom.candidate_configs(12))
+    het_configs = set(het.candidate_configs(12))
+    assert all(D % S == 0 for D, S, _ in hom_configs)
+    assert any(D % S != 0 for D, S, _ in het_configs)
+    assert hom_configs <= het_configs
+
+    ev = het.evaluate(12, group_size=6, num_stages=4, num_micro=2)
+    assert ev is not None
+    p = ev.plan.partition
+    assert p.is_bidirectional
+    S = p.num_stages
+    assert sum(st.replicas for st in p.down) <= 6
+    for i in range(S):
+        assert p.down[i].replicas == p.up[S - 1 - i].replicas
+
+
+def test_bidirectional_timeline_weights_cover_both_chains(
+    cascaded, cascaded_profile
+):
+    """Chain position i hosts down stage i and up stage S-1-i, so the
+    simulator's device weights must be derived from both chains — on a
+    heterogeneous plan they vary per position."""
+    from repro.cluster import single_node
+
+    cluster = single_node(6)
+    planner = DiffusionPipePlanner(
+        cascaded, cluster, cascaded_profile,
+        _options(group_sizes=(6,), micro_batch_counts=(2,), cdm_cut_step=1,
+                 heterogeneous_replication=True, keep_timeline=True),
+    )
+    ev = planner.evaluate(12, group_size=6, num_stages=4, num_micro=2)
+    assert ev is not None and ev.timeline is not None
+    p = ev.plan.partition
+    S = p.num_stages
+    for i in range(S):
+        expected = max(p.down[i].replicas, p.up[S - 1 - i].replicas)
+        assert ev.timeline.device_weights[i] == expected
+    assert ev.timeline.total_physical_devices == sum(
+        st.replicas for st in p.down
+    )
+
+
 def test_eval_cache_shared_across_planners(cluster8, uniform, uniform_profile):
     """Planners sharing one PlannerCaches (same model/profile/options)
     reuse each other's simulate-and-fill results; filling ablations get

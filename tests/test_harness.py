@@ -53,6 +53,25 @@ def test_experiment_report_deviation():
     assert "X" in table
 
 
+def test_cdm_sweep_heterogeneous_flag():
+    """``CDMThroughputSweep(heterogeneous=True)`` threads per-stage
+    replication into the planner options (it used to be a documented
+    no-op for cascaded models) and still produces DiffusionPipe cells."""
+    from repro.harness.throughput import CDMThroughputSweep
+    from repro.models.zoo import cdm_lsun
+
+    sweep = CDMThroughputSweep(
+        cdm_lsun,
+        machine_counts=(1,),
+        batches={8: (128,)},
+        heterogeneous=True,
+    )
+    assert sweep.planner_options.heterogeneous_replication
+    cells = sweep.run()
+    dp = [c for c in cells if c.system == "DiffusionPipe"]
+    assert dp and all(c.throughput > 0 for c in dp)
+
+
 def test_cells_pivot():
     cells = [
         SweepCell("A", 8, 64, 100.0, False),

@@ -8,9 +8,11 @@ from hypothesis import strategies as st
 
 from repro.cluster import CollectiveModel, CommCosts, a100_80gb, single_node
 from repro.core import (
+    CDMPartitionContext,
     PartitionContext,
     extract_bubbles,
     partition_backbone,
+    partition_cdm,
     valid_partial_samples,
 )
 from repro.core.filling import ComponentState, fill_one_bubble
@@ -201,6 +203,82 @@ def test_het_backtracking_contiguous_and_device_conserving(times, S):
         assert a.hi == b.lo
     assert all(st_.replicas >= 1 for st_ in plan.down)
     assert sum(st_.replicas for st_ in plan.down) <= D
+
+
+def _cdm_ctx_from_times(down_times, up_times, M=2):
+    db = ProfileDB.from_layer_times(
+        {"down": list(down_times), "up": list(up_times)},
+        batches=(1.0, 64.0),
+        trainable={"down": True, "up": True},
+    )
+    mk = lambda comp: PartitionContext(  # noqa: E731
+        profile=db, component=comp, batch_per_group=64.0,
+        num_micro_batches=M, p2p=FAST, allreduce=FAST,
+    )
+    return CDMPartitionContext(down=mk("down"), up=mk("up"))
+
+
+@given(
+    layer_times,
+    layer_times,
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=1, max_value=2),
+)
+@settings(max_examples=25, deadline=None)
+def test_het_cdm_objective_never_exceeds_uniform(down_times, up_times, S, k):
+    """On ``S | D`` clusters the heterogeneous CDM DP can always pick
+    the uniform ``r = D/S`` assignment for every chain position, so its
+    objective must never exceed the uniform DP's."""
+    if S > min(len(down_times), len(up_times)):
+        return
+    D = S * k
+    ctx = _cdm_ctx_from_times(down_times, up_times)
+    uni = partition_cdm(ctx, S, D)
+    het = partition_cdm(ctx, S, D, heterogeneous=True)
+    assert het.t_max_ms <= uni.t_max_ms + 1e-9 * max(1.0, uni.t_max_ms)
+
+
+@given(layer_times, layer_times, st.integers(min_value=2, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_het_cdm_backtracking_valid_chains(down_times, up_times, S):
+    """Non-divisible case (D = S + 1): both backtracked chains must be
+    contiguous, cover their backbone, never over-subscribe devices, and
+    co-located stages must share one replica count."""
+    if S > min(len(down_times), len(up_times)):
+        return
+    D = S + 1  # never a multiple of S for S >= 2
+    plan = partition_cdm(
+        _cdm_ctx_from_times(down_times, up_times), S, D, heterogeneous=True
+    )
+    ld, lu = len(down_times), len(up_times)
+    for chain, L in ((plan.down, ld), (plan.up, lu)):
+        assert chain[0].lo == 0
+        assert chain[-1].hi == L
+        for a, b in zip(chain, chain[1:]):
+            assert a.hi == b.lo
+        assert all(st_.replicas >= 1 for st_ in chain)
+    assert sum(st_.replicas for st_ in plan.down) <= D
+    for i in range(S):
+        assert plan.down[i].replicas == plan.up[S - 1 - i].replicas
+
+
+@given(
+    layer_times,
+    layer_times,
+    st.integers(min_value=2, max_value=3),
+    st.integers(min_value=1, max_value=3),
+)
+@settings(max_examples=20, deadline=None)
+def test_het_cdm_memo_hit_bit_identical(down_times, up_times, S, M):
+    """A repeated heterogeneous CDM call (same profile, same inputs)
+    hits the per-profile DP memo and returns a bit-identical plan."""
+    if S > min(len(down_times), len(up_times)):
+        return
+    ctx = _cdm_ctx_from_times(down_times, up_times, M=M)
+    D = S + 1
+    first = partition_cdm(ctx, S, D, heterogeneous=True)
+    second = partition_cdm(ctx, S, D, heterogeneous=True)
+    assert first == second
 
 
 @given(layer_times)

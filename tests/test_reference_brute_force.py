@@ -138,6 +138,71 @@ def test_cdm_dp_is_optimal(down_times, up_times):
 
 
 @given(
+    st.lists(st.tuples(st.floats(2, 30), st.floats(2, 60)), min_size=3, max_size=4),
+    st.lists(st.tuples(st.floats(2, 30), st.floats(2, 60)), min_size=3, max_size=4),
+    st.integers(min_value=2, max_value=4),
+)
+@settings(max_examples=20, deadline=None)
+def test_het_cdm_dp_is_optimal(down_times, up_times, D):
+    """The heterogeneous bidirectional DP equals brute force over all
+    (cut pair, per-position replica assignment) combinations, with an
+    r-dependent all-reduce resolver so the per-replica-count sync model
+    is exercised too."""
+    S = 2
+    db = ProfileDB.from_layer_times(
+        {"down": list(down_times), "up": list(up_times)},
+        batches=(1.0, 64.0),
+        trainable={"down": True, "up": True},
+    )
+    # Sync constants that genuinely vary with the replica count.
+    ar_by_r = lambda r: CommCosts(  # noqa: E731
+        bandwidth=4e8 * (1.0 + 0.5 * r), latency=0.05 * r
+    )
+    mk = lambda comp: PartitionContext(  # noqa: E731
+        profile=db, component=comp, batch_per_group=64.0,
+        num_micro_batches=2, p2p=FAST, allreduce=FAST,
+        allreduce_by_r=ar_by_r, allreduce_key=("brute", 4e8, 0.05),
+    )
+    ctx = CDMPartitionContext(down=mk("down"), up=mk("up"))
+    # A generous frontier cap isolates DP correctness from the
+    # worst-case pruning heuristic.
+    plan = partition_cdm(ctx, S, D, heterogeneous=True, max_frontier=64)
+
+    ld, lu = len(down_times), len(up_times)
+    coeff = ctx.m_cdm + 2 * S - 2
+    costs: dict[tuple[str, int], _ScaledCosts] = {}
+
+    def sc(which, pctx, r):
+        key = (which, r)
+        if key not in costs:
+            costs[key] = _ScaledCosts(pctx, r, ctx.comm_scale)
+        return costs[key]
+
+    best = float("inf")
+    for cd in range(1, ld):
+        for cu in range(1, lu):
+            for r0 in range(1, D):
+                for r1 in range(1, D - r0 + 1):
+                    # position 0: down [0,cd) + up [cu,lu), r0 replicas;
+                    # position 1: down [cd,ld) + up [0,cu), r1 replicas.
+                    stages = [
+                        (sc("d", ctx.down, r0), (0, cd),
+                         sc("u", ctx.up, r0), (cu, lu)),
+                        (sc("d", ctx.down, r1), (cd, ld),
+                         sc("u", ctx.up, r1), (0, cu)),
+                    ]
+                    w = max(
+                        max(d.t0(*ds), u.t0(*us)) for d, ds, u, us in stages
+                    )
+                    y = max(
+                        max(d.sync_gap(*ds), u.sync_gap(*us))
+                        for d, ds, u, us in stages
+                    )
+                    best = min(best, coeff * w + y)
+    assert plan.t_max_ms == pytest.approx(best, rel=1e-9)
+
+
+@given(
     st.lists(st.floats(min_value=1.0, max_value=20.0), min_size=1, max_size=5),
     st.floats(min_value=2.0, max_value=60.0),
     st.integers(min_value=1, max_value=2),

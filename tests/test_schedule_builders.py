@@ -172,6 +172,26 @@ def test_bidirectional_stage_count_mismatch():
         build_bidirectional(_stages(2), _stages(3), 2, 2)
 
 
+def test_bidirectional_colocated_replica_mismatch():
+    """Chain position i hosts down stage i and up stage S-1-i on the
+    same devices, so their replica counts must agree."""
+    down = [
+        StageExec(index=0, fwd_ms=1, bwd_ms=2, replicas=2),
+        StageExec(index=1, fwd_ms=1, bwd_ms=2, replicas=1),
+    ]
+    up_ok = [
+        StageExec(index=0, fwd_ms=1, bwd_ms=2, replicas=1),
+        StageExec(index=1, fwd_ms=1, bwd_ms=2, replicas=2),
+    ]
+    build_bidirectional(down, up_ok, 2, 2)  # mirrored counts: fine
+    up_bad = [
+        StageExec(index=0, fwd_ms=1, bwd_ms=2, replicas=2),
+        StageExec(index=1, fwd_ms=1, bwd_ms=2, replicas=1),
+    ]
+    with pytest.raises(ConfigurationError, match="co-located"):
+        build_bidirectional(down, up_bad, 2, 2)
+
+
 def test_comm_scale_doubles_transfers():
     S, M = 2, 1
     t1 = build_1f1b(_stages(S, comm=4.0), M, comm_scale=1.0)

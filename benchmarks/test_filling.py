@@ -1,0 +1,171 @@
+"""Bubble-filling engine benchmarks (fast suite, CI's benchmark step).
+
+Two claims of the strategy-driven filling refactor are checked on a
+large fuzzed timeline:
+
+* the sweep-line ``extract_bubbles`` (O(E log E) over idle-span edge
+  events) is equivalent to — and at least 5x faster than — the retained
+  quadratic breakpoint scan ``extract_bubbles_reference``;
+* a repeated fill over the same timeline hits the per-profile
+  prefix-time cache: bit-identical report, no new cache entries, and a
+  measurably faster warm pass.
+
+Like ``test_het_replication.py`` this is deliberately light enough for
+``-m "not slow" --benchmark-disable``.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core import (
+    BubbleFiller,
+    extract_bubbles,
+    extract_bubbles_reference,
+    reset_prefix_cache,
+)
+from repro.core.filling import _PREFIX_CACHE
+from repro.models import ModelSpec
+from repro.models.zoo import timed_component
+from repro.profiling import ProfileDB
+from repro.schedule import Task, TaskKind, Timeline, device_resource
+from repro.schedule.timeline import Interval
+
+#: fuzzed-timeline size: ~2 * DEVICES * SPANS span edges for the sweep,
+#: segments x devices x spans work for the quadratic reference
+DEVICES = 8
+SPANS = 150
+
+
+def _iv(start, end, dev, kind=TaskKind.FORWARD):
+    task = Task(
+        task_id=f"{kind.value}@{dev}:{start:.3f}",
+        resource=device_resource(dev),
+        duration=end - start,
+        kind=kind,
+        device=dev,
+    )
+    return Interval(start, end, task)
+
+
+def _fuzzed_timeline(seed=7, devices=DEVICES, spans=SPANS) -> Timeline:
+    rng = random.Random(seed)
+    intervals = []
+    for d in range(devices):
+        t = rng.uniform(0.0, 5.0)
+        for i in range(spans):
+            busy = rng.uniform(0.5, 8.0)
+            kind = TaskKind.SYNC if i % 11 == 0 else TaskKind.FORWARD
+            intervals.append(_iv(t, t + busy, d, kind))
+            t += busy + rng.uniform(0.5, 15.0)
+    return Timeline(intervals, devices)
+
+
+def test_sweep_line_extraction_equivalent_and_faster(benchmark):
+    tl = _fuzzed_timeline()
+    # Prewarm the timeline's per-device interval index so both
+    # implementations measure extraction alone.
+    tl.device_intervals(0)
+
+    fast = benchmark.pedantic(
+        lambda: extract_bubbles(tl, min_duration_ms=0.0), rounds=1, iterations=1
+    )
+    ref = extract_bubbles_reference(tl, min_duration_ms=0.0)
+    assert fast == ref
+    assert len(fast) > 100  # the fuzz produced a real workload
+    # Strict view equivalence too.
+    assert extract_bubbles(
+        tl, min_duration_ms=10.0, include_sync_spans=False
+    ) == extract_bubbles_reference(
+        tl, min_duration_ms=10.0, include_sync_spans=False
+    )
+
+    def measure():
+        t0 = time.perf_counter()
+        extract_bubbles_reference(tl, min_duration_ms=0.0)
+        quad = time.perf_counter() - t0
+        sweep = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            extract_bubbles(tl, min_duration_ms=0.0)
+            sweep = min(sweep, time.perf_counter() - t0)
+        return quad, sweep
+
+    # Allow one re-measurement: wall-clock on shared runners is noisy.
+    for attempt in (1, 2):
+        quad, sweep = measure()
+        if quad >= 5 * sweep:
+            break
+    assert quad >= 5 * sweep, f"quadratic={quad:.4f}s sweep={sweep:.4f}s (< 5x)"
+
+
+def _fill_workload():
+    """Long NT chains so per-layer interpolation dominates enumeration."""
+    comps = {f"enc{i}": [3.0 + 0.1 * j for j in range(80)] for i in range(3)}
+    backbone = timed_component("bb", [1.0], trainable=True)
+    specs = [timed_component(n, v) for n, v in comps.items()]
+    model = ModelSpec("fill-bench", [backbone] + specs, backbone_names=("bb",))
+    profile = ProfileDB.from_layer_times(
+        {**{n: [(t, 0.0) for t in v] for n, v in comps.items()},
+         "bb": [(1.0, 1.0)]},
+        batches=(1.0, 64.0),
+        trainable={**{n: False for n in comps}, "bb": True},
+        scale_with_batch=True,
+    )
+    # Constant-idle-set segments of the 8-device fuzz are short (a few
+    # ms), so the filler sees many small bubbles — the regime where the
+    # per-state prefix arrays are re-requested over and over.  Several
+    # fuzz seeds are concatenated (time-shifted) so the wall-clock
+    # comparison is not dominated by timer noise.
+    bubbles = []
+    shift = 0.0
+    for seed in (11, 13, 17):
+        extracted = extract_bubbles(_fuzzed_timeline(seed=seed),
+                                    min_duration_ms=2.0)
+        for b in extracted:
+            bubbles.append(
+                type(b)(start=b.start + shift, end=b.end + shift,
+                        devices=b.devices, weight=b.weight)
+            )
+        shift += _fuzzed_timeline(seed=seed).makespan + 10.0
+    return model, profile, bubbles
+
+
+def test_cold_vs_warm_fill_prefix_cache(benchmark):
+    model, profile, bubbles = _fill_workload()
+
+    def run_fill():
+        filler = BubbleFiller(profile, model, batch=64)
+        return filler.fill(bubbles, leftover_devices=DEVICES)
+
+    def measure():
+        # Best-of-2 cold (each genuinely cold: the cache is reset) vs
+        # best-of-3 warm, so one scheduler stall cannot flip the ratio.
+        cold = float("inf")
+        cold_report = None
+        for _ in range(2):
+            reset_prefix_cache(profile)
+            t0 = time.perf_counter()
+            cold_report = run_fill()
+            cold = min(cold, time.perf_counter() - t0)
+        entries = len(_PREFIX_CACHE[profile])
+        assert entries > 0, "cold fill must populate the prefix cache"
+        warm = float("inf")
+        for _ in range(3):
+            t0 = time.perf_counter()
+            warm_report = run_fill()
+            warm = min(warm, time.perf_counter() - t0)
+            # Bit-identical outcome and no cache growth on warm passes.
+            assert warm_report == cold_report
+            assert len(_PREFIX_CACHE[profile]) == entries
+        return cold, warm
+
+    report = benchmark.pedantic(run_fill, rounds=1, iterations=1)
+    assert report.items and report.filled_device_time_ms > 0
+
+    for attempt in (1, 2):
+        cold, warm = measure()
+        if cold >= 1.15 * warm:
+            break
+    assert cold >= 1.15 * warm, f"cold={cold:.4f}s warm={warm:.4f}s (< 1.15x)"

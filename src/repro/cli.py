@@ -27,7 +27,12 @@ from .baselines import (
     Zero3Baseline,
 )
 from .cluster import p4de_cluster, single_node
-from .core import DiffusionPipePlanner, PlannerOptions, extract_bubbles
+from .core import (
+    DiffusionPipePlanner,
+    PlannerOptions,
+    extract_bubbles,
+    fill_strategy_names,
+)
 from .errors import ReproError
 from .harness import format_table, pct
 from .models import zoo
@@ -120,6 +125,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
             group_sizes=_group_sizes(cluster),
             keep_timeline=True,
             heterogeneous_replication=args.heterogeneous,
+            fill_strategy=args.fill_strategy,
         ),
     )
     try:
@@ -136,6 +142,15 @@ def cmd_plan(args: argparse.Namespace) -> int:
                          f"{pct(plan.bubble_ratio_filled)}"],
         ["NT leftover", f"{plan.leftover_ms:.1f} ms"],
     ]
+    if plan.fill is not None:
+        fill = plan.fill
+        rows.append(["fill strategy", fill.strategy])
+        rows.append(["fill fraction", pct(fill.fill_fraction)])
+        filled_bubbles = sum(1 for u in fill.per_bubble if u.filled_ms > 0)
+        rows.append(["bubbles filled",
+                     f"{filled_bubbles}/{fill.num_bubbles}"])
+        if fill.candidates_dropped:
+            rows.append(["candidates dropped", str(fill.candidates_dropped)])
     if plan.memory:
         rows.append(["peak memory", f"{plan.memory.peak_bytes / 1e9:.1f} GB"])
     print(format_table(["metric", "value"],
@@ -167,6 +182,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     opts = PlannerOptions(
         group_sizes=_group_sizes(cluster),
         heterogeneous_replication=args.heterogeneous,
+        fill_strategy=args.fill_strategy,
     )
     planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
     engines = []
@@ -255,6 +271,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allow per-stage replica counts (non-divisible S, D) "
                         "for all models; for cdm-* each chain position's "
                         "count is shared by its co-located down/up stages")
+    p.add_argument("--fill-strategy", default="greedy",
+                   choices=fill_strategy_names(),
+                   help="bubble-filling policy: greedy (the paper's "
+                        "Algorithms 1+2), lookahead (plans across bubbles, "
+                        "never worse than greedy), none (leave bubbles idle)")
     p.add_argument("--out", help="write the plan JSON here")
     p.add_argument("--trace", help="write a chrome trace here")
     p.set_defaults(func=cmd_plan)
@@ -269,6 +290,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allow per-stage replica counts (non-divisible S, D) "
                         "for all models; for cdm-* each chain position's "
                         "count is shared by its co-located down/up stages")
+    p.add_argument("--fill-strategy", default="greedy",
+                   choices=fill_strategy_names(),
+                   help="bubble-filling policy: greedy (the paper's "
+                        "Algorithms 1+2), lookahead (plans across bubbles, "
+                        "never worse than greedy), none (leave bubbles idle)")
     p.set_defaults(func=cmd_sweep)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(func=cmd_table1)

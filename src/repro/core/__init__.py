@@ -4,16 +4,30 @@ from .bubbles import (
     DEFAULT_MIN_BUBBLE_MS,
     Bubble,
     extract_bubbles,
+    extract_bubbles_reference,
     longest_bubble,
     total_bubble_device_time,
 )
-from .cross_iteration import IterationEstimate, compose_iteration
+from .cross_iteration import (
+    IterationEstimate,
+    compose_iteration,
+    strict_idle_in_bubbles,
+)
+from .fill_strategies import (
+    FILL_STRATEGIES,
+    FillStrategy,
+    fill_strategy_names,
+    get_fill_strategy,
+    register_fill_strategy,
+)
 from .filling import (
     VALID_LOCAL_BATCHES,
     BubbleFiller,
     ComponentState,
+    component_prefix_times,
     fill_one_bubble,
     full_batch_candidates,
+    reset_prefix_cache,
     valid_partial_samples,
 )
 from .instructions import Instruction, Op, format_streams, lower_timeline
@@ -30,6 +44,7 @@ from .partition_cdm import (
     partition_cdm,
 )
 from .plan import (
+    BubbleUtilization,
     ExecutionPlan,
     FillItem,
     FillReport,
@@ -48,15 +63,25 @@ __all__ = [
     "DEFAULT_MIN_BUBBLE_MS",
     "Bubble",
     "extract_bubbles",
+    "extract_bubbles_reference",
     "longest_bubble",
     "total_bubble_device_time",
     "IterationEstimate",
     "compose_iteration",
+    "strict_idle_in_bubbles",
+    "FILL_STRATEGIES",
+    "FillStrategy",
+    "fill_strategy_names",
+    "get_fill_strategy",
+    "register_fill_strategy",
     "VALID_LOCAL_BATCHES",
     "BubbleFiller",
+    "BubbleUtilization",
     "ComponentState",
+    "component_prefix_times",
     "fill_one_bubble",
     "full_batch_candidates",
+    "reset_prefix_cache",
     "valid_partial_samples",
     "Instruction",
     "Op",

@@ -19,8 +19,10 @@ data-parallel training (verified numerically by
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 from ..schedule.timeline import Timeline
+from .bubbles import Bubble
 from .plan import FillReport
 
 
@@ -42,12 +44,45 @@ class IterationEstimate:
         return max(0.0, self.warmup_extra_ms - self.leftover_ms)
 
 
+def strict_idle_in_bubbles(
+    timeline: Timeline, bubbles: Sequence[Bubble]
+) -> float:
+    """Strict-idle device-time lying *inside* the given bubbles.
+
+    Bubbles are extracted in the sync-inclusive (fillable) view, so a
+    bubble may span intervals where a device is running its gradient
+    all-reduce — available for overlap-filling, but busy in the strict
+    bubble-ratio metric.  This returns the replication-weighted overlap
+    of each bubble with its devices' strict idle spans: the part of the
+    fillable pool that filled work can actually remove from the strict
+    metric.
+    """
+    total = 0.0
+    spans_by_device: dict[int, list] = {}
+    for b in bubbles:
+        for d in b.devices:
+            spans = spans_by_device.get(d)
+            if spans is None:
+                spans = spans_by_device[d] = timeline.idle_spans(
+                    d, include_sync_as_busy=True
+                )
+            overlap = 0.0
+            for sp in spans:
+                lo = max(sp.start, b.start)
+                hi = min(sp.end, b.end)
+                if hi > lo:
+                    overlap += hi - lo
+            total += overlap * timeline.device_weights[d]
+    return total
+
+
 def compose_iteration(
     timeline: Timeline,
     fill: FillReport | None,
     nt_total_ms: float,
     *,
     total_devices: int | None = None,
+    bubbles: Sequence[Bubble] | None = None,
 ) -> IterationEstimate:
     """Combine a simulated backbone timeline with a filling outcome.
 
@@ -62,6 +97,12 @@ def compose_iteration(
     nt_total_ms:
         The NT part's serial execution time (data-parallel across the
         pipeline group) — used for the unfilled baseline and warm-up.
+    bubbles:
+        The bubbles the fill was computed over (the fillable,
+        sync-inclusive view).  When given, the filled bubble-ratio
+        credits filled work only up to the strict-idle capacity inside
+        those bubbles; without them the whole strict view is assumed
+        creditable (the historical accounting).
     """
     pipeline_ms = timeline.makespan
     devices = (
@@ -86,7 +127,22 @@ def compose_iteration(
     denom_before = (pipeline_ms + nt_total_ms) * devices
     ratio_before = idle_before / denom_before if denom_before > 0 else 0.0
 
-    idle_after = max(0.0, idle_before - fill.filled_device_time_ms)
+    # ``idle_before`` is the strict-idle view (sync counts as busy)
+    # while ``fill.filled_device_time_ms`` was drawn from the fillable
+    # pool (sync-inclusive) — work placed over a gradient all-reduce
+    # never removes strict idle time.  Cap the credit at the strict
+    # capacity actually inside the filled bubbles, so a sync-heavy
+    # timeline no longer clamps ``idle_after`` to 0 and understates the
+    # ratio.  While the fill fits that capacity (every sync-free
+    # timeline, and every paper-model sweep) the historical formula
+    # applies verbatim.
+    strict_in = (
+        idle_before if bubbles is None else strict_idle_in_bubbles(timeline, bubbles)
+    )
+    if fill.filled_device_time_ms <= strict_in:
+        idle_after = max(0.0, idle_before - fill.filled_device_time_ms)
+    else:
+        idle_after = idle_before - strict_in
     denom_after = iteration * devices
     ratio_after = idle_after / denom_after if denom_after > 0 else 0.0
 

@@ -1,0 +1,618 @@
+"""Pluggable bubble-filling strategies (§5) behind a named registry.
+
+The seed implementation hard-wired one policy: fill bubbles
+chronologically, choosing per bubble the longest-running candidate
+(Algorithms 1+2).  That policy is now one entry — ``greedy`` — of a
+registry of :class:`FillStrategy` implementations, so filling policies
+can be ablated the same way Fig. 15 ablates the partial-batch rule:
+
+``greedy``
+    The paper's myopic per-bubble choice, bit-identical to the seed.
+``lookahead``
+    Plans *across* bubbles: a forward DP over component-chain states
+    (exact while the reachable state set stays small, beam-bounded
+    otherwise) that finds trades the greedy misses — e.g. holding a
+    short layer back so it can ride the next, wider bubble together
+    with its successor.  Never worse than ``greedy``: the greedy
+    trajectory is evaluated as a candidate plan and replaces the beam's
+    whenever it is strictly better (on a leftover tie the beam plan,
+    which maximised filled device-time, is kept).
+``none``
+    Fills nothing; the whole non-trainable part runs after the flush.
+    The filling-path twin of the Fig. 15 "bubble filling disabled"
+    ablation (which bypasses the filler entirely).
+
+Strategies receive the :class:`~repro.core.filling.BubbleFiller` (which
+owns the model DAG, the profile, the partial-batch knobs and the
+component states) plus the bubble list, and return a complete
+:class:`~repro.core.plan.FillReport` including per-bubble utilization
+and dropped-candidate accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Callable, Protocol, Sequence
+
+from ..errors import FillingError
+from .bubbles import Bubble
+from .plan import BubbleUtilization, FillItem, FillReport
+from .filling import (
+    BubbleFill,
+    ComponentState,
+    _Candidate,
+    _candidate_items,
+    apply_fill,
+    fill_one_bubble,
+    full_batch_candidates,
+    prefix_times_raw,
+    valid_partial_samples,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from .filling import BubbleFiller
+
+
+class FillStrategy(Protocol):
+    """A bubble-filling policy: consumes the filler's component states,
+    produces the complete fill report."""
+
+    name: str
+
+    def fill(
+        self,
+        filler: "BubbleFiller",
+        bubbles: Sequence[Bubble],
+        leftover_devices: int,
+    ) -> FillReport:
+        ...  # pragma: no cover - protocol
+
+
+FILL_STRATEGIES: dict[str, Callable[[], FillStrategy]] = {}
+
+
+def register_fill_strategy(name: str):
+    """Class decorator adding a strategy factory under ``name``."""
+
+    def deco(cls):
+        FILL_STRATEGIES[name] = cls
+        return cls
+
+    return deco
+
+
+def get_fill_strategy(name: str) -> FillStrategy:
+    """Instantiate the strategy registered under ``name``."""
+    factory = FILL_STRATEGIES.get(name)
+    if factory is None:
+        raise FillingError(
+            f"unknown fill strategy {name!r}; "
+            f"registered: {fill_strategy_names()}"
+        )
+    return factory()
+
+
+def fill_strategy_names() -> tuple[str, ...]:
+    """Registered strategy names, sorted (CLI choices, docs)."""
+    return tuple(sorted(FILL_STRATEGIES))
+
+
+def _chronological(bubbles: Sequence[Bubble]) -> list[tuple[int, Bubble]]:
+    return sorted(enumerate(bubbles), key=lambda ib: ib[1].start)
+
+
+def _utilization(index: int, bubble: Bubble, filled_ms: float) -> BubbleUtilization:
+    return BubbleUtilization(
+        bubble_index=index,
+        duration_ms=bubble.duration,
+        weight=bubble.weight,
+        filled_ms=filled_ms,
+    )
+
+
+# ---------------------------------------------------------------------------
+# none
+# ---------------------------------------------------------------------------
+
+
+@register_fill_strategy("none")
+class NoneFill:
+    """Fill nothing: every bubble stays idle, all NT work is leftover."""
+
+    name = "none"
+
+    def fill(
+        self,
+        filler: "BubbleFiller",
+        bubbles: Sequence[Bubble],
+        leftover_devices: int,
+    ) -> FillReport:
+        per_bubble = [_utilization(i, b, 0.0) for i, b in _chronological(bubbles)]
+        return filler.build_report(
+            bubbles, (), 0.0, leftover_devices, per_bubble=per_bubble
+        )
+
+
+# ---------------------------------------------------------------------------
+# greedy (Algorithms 1 + 2)
+# ---------------------------------------------------------------------------
+
+
+@register_fill_strategy("greedy")
+class GreedyFill:
+    """The paper's policy: bubbles chronologically, per bubble the
+    longest-running candidate (bit-identical to the seed implementation).
+    """
+
+    name = "greedy"
+
+    def fill(
+        self,
+        filler: "BubbleFiller",
+        bubbles: Sequence[Bubble],
+        leftover_devices: int,
+    ) -> FillReport:
+        all_items: list[FillItem] = []
+        per_bubble: list[BubbleUtilization] = []
+        filled_device_time = 0.0
+        dropped = 0
+        for index, bubble in _chronological(bubbles):
+            ready = filler.ready_components()
+            if not ready:
+                if all(s.done for s in filler.states.values()):
+                    break
+                per_bubble.append(_utilization(index, bubble, 0.0))
+                continue
+            fill = fill_one_bubble(
+                filler.profile,
+                ready,
+                bubble,
+                index,
+                enable_partial_batch=filler.enable_partial_batch,
+                partial_batch_menu=filler.partial_batch_menu,
+                max_candidates=filler.max_candidates,
+            )
+            dropped += fill.candidates_dropped
+            per_bubble.append(_utilization(index, bubble, fill.time_ms))
+            if not fill.items:
+                continue
+            apply_fill(filler.states, fill)
+            all_items.extend(fill.items)
+            filled_device_time += fill.time_ms * bubble.weight
+        # Bubbles skipped by the early all-done break still get a
+        # zero-utilization entry, so every strategy reports exactly one
+        # entry per bubble.
+        seen = {u.bubble_index for u in per_bubble}
+        for index, bubble in _chronological(bubbles):
+            if index not in seen:
+                per_bubble.append(_utilization(index, bubble, 0.0))
+        return filler.build_report(
+            bubbles,
+            all_items,
+            filled_device_time,
+            leftover_devices,
+            candidates_dropped=dropped,
+            per_bubble=per_bubble,
+        )
+
+
+# ---------------------------------------------------------------------------
+# lookahead (cross-bubble DP / beam search)
+# ---------------------------------------------------------------------------
+
+
+#: a component-chain state: per-component (next_layer, remaining)
+_StateKey = tuple[tuple[int, float], ...]
+
+#: one recorded per-bubble decision on a search path:
+#: (bubble position in chronological order, counts aligned with the
+#:  ready list at that state, optional partial (ready idx, layer,
+#:  samples, time), total wall-clock time of the fill)
+_Move = tuple[int, tuple[int, ...], tuple[int, int, float, float] | None, float]
+
+#: search paths are singly-linked (move, parent) chains — a beam offer
+#: is O(1) instead of copying the whole move tuple per successor
+_MoveNode = tuple[_Move, "object"] | None
+
+
+def _walk_moves(node: _MoveNode) -> list[_Move]:
+    """Flatten a linked move chain into chronological order."""
+    out: list[_Move] = []
+    while node is not None:
+        move, node = node
+        out.append(move)
+    out.reverse()
+    return out
+
+
+class _SearchCtx:
+    """Per-fill constants of the lookahead search, computed once.
+
+    ``model.non_trainable`` re-derives a topological order on every
+    access, and the search visits thousands of states per bubble — so
+    the component order, layer counts, dependency lists and the
+    always-done (trainable) name set are snapshotted here, and state
+    keys are expanded against these arrays instead of the model.
+    """
+
+    def __init__(self, filler: "BubbleFiller", leftover_devices: int):
+        self.filler = filler
+        self.profile = filler.profile
+        self.batch = filler.batch
+        self.leftover_devices = leftover_devices
+        comps = list(filler.model.non_trainable)
+        self.names = [c.name for c in comps]
+        self.index = {n: i for i, n in enumerate(self.names)}
+        self.num_layers = [filler.states[n].num_layers for n in self.names]
+        self.deps = [tuple(c.depends_on) for c in comps]
+        self.always_done = {
+            c.name for c in filler.model.components.values() if c.trainable
+        }
+        self._estimates: dict[_StateKey, float] = {}
+
+    def initial_key(self) -> _StateKey:
+        return tuple(
+            (self.filler.states[n].next_layer, self.filler.states[n].remaining)
+            for n in self.names
+        )
+
+    def ready_indices(self, key: _StateKey) -> list[int]:
+        """Indices of non-done components with all dependencies done
+        (same order/semantics as ``BubbleFiller.ready_components``)."""
+        done = set(self.always_done)
+        for i, (next_layer, _) in enumerate(key):
+            if next_layer >= self.num_layers[i]:
+                done.add(self.names[i])
+        return [
+            i
+            for i, (next_layer, _) in enumerate(key)
+            if next_layer < self.num_layers[i]
+            and all(dep in done for dep in self.deps[i])
+        ]
+
+    def ready_states(self, key: _StateKey, indices: Sequence[int]) -> list[ComponentState]:
+        return [
+            ComponentState(
+                name=self.names[i],
+                num_layers=self.num_layers[i],
+                batch=self.batch,
+                next_layer=key[i][0],
+                remaining=key[i][1],
+            )
+            for i in indices
+        ]
+
+    def states_from(self, key: _StateKey) -> dict[str, ComponentState]:
+        return {
+            n: ComponentState(
+                name=n,
+                num_layers=self.num_layers[i],
+                batch=self.batch,
+                next_layer=key[i][0],
+                remaining=key[i][1],
+            )
+            for i, n in enumerate(self.names)
+        }
+
+    def estimate(self, key: _StateKey) -> float:
+        """Fast leftover estimate for beam ranking (prefix-cache sums)."""
+        cached = self._estimates.get(key)
+        if cached is not None:
+            return cached
+        total = 0.0
+        for i, (next_layer, remaining) in enumerate(key):
+            total += prefix_times_raw(
+                self.profile,
+                self.names[i],
+                self.num_layers[i],
+                next_layer,
+                remaining,
+                self.batch,
+                self.leftover_devices,
+            )[-1]
+        self._estimates[key] = total
+        return total
+
+
+@register_fill_strategy("lookahead")
+class LookaheadFill:
+    """Cross-bubble planner: forward DP over component-chain states.
+
+    Processes bubbles chronologically like ``greedy``, but instead of
+    committing to the per-bubble maximum it carries a set of reachable
+    component-chain states forward.  Two paths reaching the same state
+    have identical futures, so states are deduplicated (a DP over chain
+    states); while the reachable set stays within ``beam_width`` the
+    search is exhaustive over the per-bubble action space, beyond it
+    only the most promising states survive (beam search).  Expansion
+    enumerates every FFC candidate and every partial-batch sample count
+    — not just the greedy maximum — which is what finds trades like
+    holding a short layer for the next, wider bubble.
+
+    The final plan is the terminal state with the smallest exact
+    ``leftover_ms``; the greedy trajectory is evaluated alongside and
+    adopted whenever it is strictly better (on a tie the beam plan is
+    kept — it maximised filled device-time), so ``lookahead`` never
+    reports a larger leftover than ``greedy`` on the same instance.
+    """
+
+    name = "lookahead"
+
+    #: reachable-state cap: exact DP below, beam search above
+    beam_width = 64
+    #: per-(state, bubble) FFC enumeration cap during the search
+    max_candidates = 256
+
+    def fill(
+        self,
+        filler: "BubbleFiller",
+        bubbles: Sequence[Bubble],
+        leftover_devices: int,
+    ) -> FillReport:
+        ordered = _chronological(bubbles)
+        ctx = _SearchCtx(filler, leftover_devices)
+
+        # beam: state key -> (filled_device_time, dropped, move chain)
+        beam: dict[_StateKey, tuple[float, int, _MoveNode]] = {
+            ctx.initial_key(): (0.0, 0, None)
+        }
+        for pos, (index, bubble) in enumerate(ordered):
+            nxt: dict[_StateKey, tuple[float, int, _MoveNode]] = {}
+            for key, (filled, dropped, moves) in beam.items():
+                self._expand(ctx, key, filled, dropped, moves, pos, bubble, nxt)
+            if len(nxt) > self.beam_width:
+                # Beam cut: keep the states closest to completion
+                # (smallest estimated leftover, then most device-time
+                # filled, then a deterministic key tie-break).
+                ranked = sorted(
+                    nxt.items(),
+                    key=lambda kv: (ctx.estimate(kv[0]), -kv[1][0], kv[0]),
+                )
+                nxt = dict(ranked[: self.beam_width])
+            beam = nxt
+
+        best = self._select(ctx, beam)
+        greedy, scratch = self._greedy_baseline(filler, bubbles, leftover_devices)
+        if best is None or greedy.leftover_ms < best[0]:
+            # The beam (or its estimates) lost the greedy trajectory:
+            # fall back to it so lookahead is never strictly worse than
+            # greedy.  Adopt the scratch filler's final states so the
+            # caller's filler stays consistent with the returned report.
+            for name, state in scratch.states.items():
+                filler.states[name].next_layer = state.next_layer
+                filler.states[name].remaining = state.remaining
+            return replace(greedy, strategy=self.name)
+        leftover, filled, dropped, moves = best
+        return self._materialize(
+            filler,
+            ordered,
+            bubbles,
+            _walk_moves(moves),
+            filled,
+            dropped,
+            leftover_devices,
+        )
+
+    # -- expansion ----------------------------------------------------------
+
+    def _expand(
+        self,
+        ctx: _SearchCtx,
+        key: _StateKey,
+        filled: float,
+        dropped: int,
+        moves: _MoveNode,
+        pos: int,
+        bubble: Bubble,
+        out: dict[_StateKey, tuple[float, int, _MoveNode]],
+    ) -> None:
+        """Add every reachable successor of ``key`` through ``bubble``."""
+
+        def offer(new_key, new_filled, new_dropped, new_moves):
+            cur = out.get(new_key)
+            # Same state, same future: keep the path that filled the
+            # most device-time (ties: the incumbent, deterministic
+            # because expansion order is deterministic).
+            if cur is None or new_filled > cur[0]:
+                out[new_key] = (new_filled, new_dropped, new_moves)
+
+        ready_idx = ctx.ready_indices(key)
+        if not ready_idx:
+            offer(key, filled, dropped, moves)
+            return
+        ready = ctx.ready_states(key, ready_idx)
+
+        filler = ctx.filler
+        d = bubble.weight
+        tb = bubble.duration
+        candidates, cand_dropped = full_batch_candidates(
+            ctx.profile,
+            ready,
+            tb,
+            d,
+            max_candidates=min(filler.max_candidates, self.max_candidates),
+        )
+        dropped += cand_dropped
+        # Partial options depend only on (ready slot, full-batch count),
+        # which many candidates share — enumerate each once.
+        partial_menu: dict[tuple[int, int], list[tuple[float, float]]] = {}
+        for cand in candidates:
+            base_key = self._advance(key, ready_idx, cand.counts, ctx.batch)
+            if any(cand.counts):
+                offer(
+                    base_key,
+                    filled + cand.time_ms * d,
+                    dropped,
+                    ((pos, cand.counts, None, cand.time_ms), moves),
+                )
+            else:
+                offer(base_key, filled, dropped, moves)
+            if not filler.enable_partial_batch:
+                continue
+            budget = tb - cand.time_ms
+            for h, comp in enumerate(ready):
+                layer = comp.next_layer + cand.counts[h]
+                if layer >= comp.num_layers:
+                    continue
+                options = partial_menu.get((h, cand.counts[h]))
+                if options is None:
+                    remaining = comp.layer_batch(cand.counts[h])
+                    options = [
+                        (samples, ctx.profile.fwd_ms(comp.name, layer, samples / d))
+                        for samples in valid_partial_samples(
+                            comp.batch, d, remaining, filler.partial_batch_menu
+                        )
+                    ]
+                    partial_menu[(h, cand.counts[h])] = options
+                for samples, t in options:
+                    if t > budget + 1e-9:
+                        continue
+                    pkey = self._advance_partial(
+                        base_key, ready_idx[h], ctx.batch, samples
+                    )
+                    offer(
+                        pkey,
+                        filled + (cand.time_ms + t) * d,
+                        dropped,
+                        (
+                            (
+                                pos,
+                                cand.counts,
+                                (h, layer, samples, t),
+                                cand.time_ms + t,
+                            ),
+                            moves,
+                        ),
+                    )
+
+    @staticmethod
+    def _advance(
+        key: _StateKey,
+        ready_idx: Sequence[int],
+        counts: tuple[int, ...],
+        batch: float,
+    ) -> _StateKey:
+        """Apply full-batch counts to a state key (consume_full mirror)."""
+        cells = list(key)
+        for h, i in enumerate(ready_idx):
+            k = counts[h]
+            if k > 0:
+                next_layer, _ = cells[i]
+                cells[i] = (next_layer + k, batch)
+        return tuple(cells)
+
+    @staticmethod
+    def _advance_partial(
+        key: _StateKey, comp_i: int, batch: float, samples: float
+    ) -> _StateKey:
+        """Apply a partial-batch layer to a state key (consume_partial
+        mirror, same epsilon)."""
+        cells = list(key)
+        next_layer, remaining = cells[comp_i]
+        remaining -= samples
+        if remaining <= 1e-9:
+            cells[comp_i] = (next_layer + 1, batch)
+        else:
+            cells[comp_i] = (next_layer, remaining)
+        return tuple(cells)
+
+    # -- selection ----------------------------------------------------------
+
+    def _select(
+        self,
+        ctx: _SearchCtx,
+        beam: dict[_StateKey, tuple[float, int, _MoveNode]],
+    ) -> tuple[float, float, int, _MoveNode] | None:
+        """Best terminal state by *exact* leftover (ties: most filled)."""
+        best = None
+        for key, (filled, dropped, moves) in sorted(beam.items()):
+            states = ctx.states_from(key)
+            leftover = ctx.filler.leftover_ms(
+                ctx.leftover_devices, states=states
+            )
+            if (
+                best is None
+                or leftover < best[0] - 1e-12
+                or (abs(leftover - best[0]) <= 1e-12 and filled > best[1])
+            ):
+                best = (leftover, filled, dropped, moves)
+        return best
+
+    def _greedy_baseline(
+        self,
+        filler: "BubbleFiller",
+        bubbles: Sequence[Bubble],
+        leftover_devices: int,
+    ) -> tuple[FillReport, "BubbleFiller"]:
+        """Run the greedy policy on a scratch filler (same knobs);
+        returns the report and the scratch filler so the fallback path
+        can adopt its final states."""
+        # Deferred import: BubbleFiller's constructor lives in filling,
+        # which this module otherwise only depends on for primitives.
+        from .filling import BubbleFiller
+
+        scratch = BubbleFiller(
+            filler.profile,
+            filler.model,
+            filler.batch,
+            enable_partial_batch=filler.enable_partial_batch,
+            partial_batch_menu=filler.partial_batch_menu,
+            max_candidates=filler.max_candidates,
+            strategy="greedy",
+        )
+        for name, state in filler.states.items():
+            scratch.states[name].next_layer = state.next_layer
+            scratch.states[name].remaining = state.remaining
+        return scratch.fill(bubbles, leftover_devices), scratch
+
+    # -- materialisation ----------------------------------------------------
+
+    def _materialize(
+        self,
+        filler: "BubbleFiller",
+        ordered: Sequence[tuple[int, Bubble]],
+        bubbles: Sequence[Bubble],
+        moves: Sequence[_Move],
+        filled_device_time: float,
+        dropped: int,
+        leftover_devices: int,
+    ) -> FillReport:
+        """Replay the winning path, mutating the filler's states and
+        emitting the concrete :class:`FillItem` placements."""
+        by_pos = {m[0]: m for m in moves}
+        all_items: list[FillItem] = []
+        per_bubble: list[BubbleUtilization] = []
+        for pos, (index, bubble) in enumerate(ordered):
+            move = by_pos.get(pos)
+            if move is None:
+                per_bubble.append(_utilization(index, bubble, 0.0))
+                continue
+            _, counts, partial, time_ms = move
+            ready = filler.ready_components()
+            cand = _Candidate(counts=counts, time_ms=time_ms)
+            items = _candidate_items(
+                filler.profile, ready, cand, bubble.weight, index
+            )
+            if partial is not None:
+                h, layer, samples, t = partial
+                items.append(
+                    FillItem(
+                        component=ready[h].name,
+                        layer=layer,
+                        samples=samples,
+                        time_ms=t,
+                        bubble_index=index,
+                        partial=True,
+                    )
+                )
+            apply_fill(filler.states, BubbleFill(index, tuple(items), time_ms))
+            all_items.extend(items)
+            per_bubble.append(_utilization(index, bubble, time_ms))
+        return filler.build_report(
+            bubbles,
+            all_items,
+            filled_device_time,
+            leftover_devices,
+            candidates_dropped=dropped,
+            per_bubble=per_bubble,
+        )

@@ -1,14 +1,13 @@
-"""Greedy pipeline-bubble filling (§5, Algorithms 1 and 2).
+"""Pipeline-bubble filling primitives (§5, Algorithms 1 and 2).
 
-Bubbles are filled chronologically.  For each bubble, Algorithm 2 (FFC)
-enumerates candidates of *full-batch* layers from all currently-ready
-non-trainable components — prefixes of each component's remaining layer
-chain whose combined execution time fits the bubble — and Algorithm 1
-then augments every candidate with at most one *partial-batch* layer
-(the next unscheduled layer of some component, run on a reduced number
-of samples chosen from the empirical local-batch menu
-{4, 8, 12, 16, 24, 32, 48, 64, 96}), finally picking the augmented
-candidate with the longest execution time that still fits.
+This module holds the mechanics the fill *strategies* are built from:
+component progress tracking (:class:`ComponentState`), the FFC
+candidate enumeration (Algorithm 2), the per-bubble greedy choice
+(Algorithm 1, :func:`fill_one_bubble`) and the
+:class:`BubbleFiller` driver.  Which policy drives the bubbles —
+the paper's chronological greedy, the cross-bubble lookahead, or no
+filling at all — is chosen by name from the strategy registry in
+:mod:`repro.core.fill_strategies`.
 
 Layers inside a bubble run data-parallel over the bubble's ``d`` idle
 devices at local batch ``B/d``.  A partially-processed layer becomes the
@@ -17,18 +16,26 @@ in subsequent bubbles (Fig. 12).  Components obey their dependency DAG:
 a component joins the ready set only once all of its dependencies have
 fully executed.  Whatever does not fit in any bubble executes after the
 pipeline flush, data-parallel over all devices.
+
+Per-layer prefix times (the cumulative execution time of a component's
+remaining chain at a given device width) are memoised per
+:class:`ProfileDB` in a weak-keyed bounded cache, so the enumeration is
+shared across bubbles, across strategies, and across a sweep's repeated
+simulate-and-fill evaluations.
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping, Sequence
+from weakref import WeakKeyDictionary
 
 from ..errors import FillingError
 from ..models.graph import ModelSpec
 from ..profiling.records import ProfileDB
 from .bubbles import Bubble
-from .plan import FillItem, FillReport
+from .plan import BubbleUtilization, FillItem, FillReport
 
 #: §5's empirical local-batch-size menu for partial-batch layers
 VALID_LOCAL_BATCHES: tuple[int, ...] = (4, 8, 12, 16, 24, 32, 48, 64, 96)
@@ -36,6 +43,13 @@ VALID_LOCAL_BATCHES: tuple[int, ...] = (4, 8, 12, 16, 24, 32, 48, 64, 96)
 #: safety cap on FFC candidate enumeration (the paper's models have at
 #: most three simultaneously-ready components, far below this)
 DEFAULT_MAX_CANDIDATES = 4096
+
+#: per-ProfileDB memo of component prefix-time arrays, keyed by
+#: (component, next layer, head remaining, batch, idle devices).  Weakly
+#: keyed so the arrays die with the profile; LRU-capped because the keys
+#: contain float batch values a long-lived sweep varies without bound.
+_PREFIX_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
+_PREFIX_CACHE_MAX = 8192
 
 
 @dataclass
@@ -94,6 +108,69 @@ class ComponentState:
             self.remaining = self.batch
 
 
+def component_prefix_times(
+    profile: ProfileDB, comp: ComponentState, idle_devices: int
+) -> tuple[float, ...]:
+    """Cumulative forward times of ``comp``'s remaining chain at local
+    batch ``layer_batch / idle_devices``: entry ``k`` is the time of the
+    first ``k`` remaining layers, accumulated left to right (so a prefix
+    of the array is bit-identical to summing the truncated chain).
+
+    Memoised per profile; shared by every strategy and every bubble that
+    evaluates the same (state, device width) point.
+    """
+    return prefix_times_raw(
+        profile,
+        comp.name,
+        comp.num_layers,
+        comp.next_layer,
+        comp.remaining,
+        comp.batch,
+        idle_devices,
+    )
+
+
+def prefix_times_raw(
+    profile: ProfileDB,
+    name: str,
+    num_layers: int,
+    next_layer: int,
+    remaining: float,
+    batch: float,
+    idle_devices: int,
+) -> tuple[float, ...]:
+    """:func:`component_prefix_times` on raw state fields — the hot
+    form for search code that tracks states as plain tuples."""
+    per = _PREFIX_CACHE.get(profile)
+    if per is None:
+        per = _PREFIX_CACHE.setdefault(profile, OrderedDict())
+    key = (name, next_layer, remaining, batch, idle_devices)
+    hit = per.get(key)
+    if hit is not None:
+        per.move_to_end(key)
+        return hit
+    prefix = [0.0]
+    layer = next_layer
+    while layer < num_layers:
+        b = remaining if layer == next_layer else batch
+        prefix.append(prefix[-1] + profile.fwd_ms(name, layer, b / idle_devices))
+        layer += 1
+    out = tuple(prefix)
+    while len(per) >= _PREFIX_CACHE_MAX:
+        per.popitem(last=False)
+    per[key] = out
+    return out
+
+
+def reset_prefix_cache(profile: ProfileDB | None = None) -> None:
+    """Drop the memoised prefix-time arrays — all of them, or only the
+    given profile's (part of the ``PlannerCaches.clear`` epoch reset)."""
+    if profile is None:
+        _PREFIX_CACHE.clear()
+    else:
+        _PREFIX_CACHE.pop(profile, None)
+
+
 @dataclass(frozen=True)
 class _Candidate:
     """An FFC candidate: per-ready-component counts of full-batch layers."""
@@ -109,52 +186,54 @@ def full_batch_candidates(
     idle_devices: int,
     *,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
-) -> list[_Candidate]:
+) -> tuple[list[_Candidate], int]:
     """Algorithm 2 (FFC): all maximal-prefix combinations that fit.
 
     Implemented iteratively over components (the paper's recursion
     unrolled): for component ``i`` every feasible prefix length
     ``k in {k0, ..., 0}`` branches the search with the remaining bubble
     time reduced accordingly.
+
+    Returns ``(candidates, dropped)`` where ``dropped`` counts the
+    partial enumerations discarded by the ``max_candidates`` cap — the
+    cut keeps the longest-time partials with a deterministic tie-break
+    (time, then lexicographically smallest counts), and the count is
+    surfaced so truncation is never silent.
     """
     if bubble_ms < 0:
         raise FillingError("bubble time must be non-negative")
     if idle_devices <= 0:
         raise FillingError("idle device count must be positive")
 
+    dropped = 0
     partials: list[tuple[tuple[int, ...], float]] = [((), 0.0)]
     for comp in ready:
-        # Per-layer times for this component's remaining chain.
-        times: list[float] = []
-        t_cum = 0.0
-        offset = 0
-        while comp.next_layer + offset < comp.num_layers:
-            b_local = comp.layer_batch(offset) / idle_devices
-            t = profile.fwd_ms(comp.name, comp.next_layer + offset, b_local)
-            if t_cum + t > bubble_ms:
-                break
-            t_cum += t
-            times.append(t)
-            offset += 1
-        prefix_time = [0.0]
-        for t in times:
-            prefix_time.append(prefix_time[-1] + t)
+        # Cumulative times for this component's remaining chain (cached
+        # across bubbles/strategies); layers beyond the bubble's own
+        # capacity can never join a candidate.
+        prefix_time = component_prefix_times(profile, comp, idle_devices)
+        n_fit = 0
+        while n_fit + 1 < len(prefix_time) and prefix_time[n_fit + 1] <= bubble_ms:
+            n_fit += 1
 
         nxt: list[tuple[tuple[int, ...], float]] = []
         for counts, used in partials:
             # Largest k that still fits after the time already used.
             k0 = 0
-            while k0 < len(times) and used + prefix_time[k0 + 1] <= bubble_ms + 1e-9:
+            while k0 < n_fit and used + prefix_time[k0 + 1] <= bubble_ms + 1e-9:
                 k0 += 1
             for k in range(k0, -1, -1):
                 nxt.append((counts + (k,), used + prefix_time[k]))
-        # Cap the enumeration, preferring candidates that use more time.
+        # Cap the enumeration, preferring candidates that use more time;
+        # ties break on the lexicographically smallest counts so the cut
+        # is deterministic regardless of enumeration order.
         if len(nxt) > max_candidates:
-            nxt.sort(key=lambda cu: -cu[1])
+            dropped += len(nxt) - max_candidates
+            nxt.sort(key=lambda cu: (-cu[1], cu[0]))
             nxt = nxt[:max_candidates]
         partials = nxt
 
-    return [_Candidate(counts=c, time_ms=t) for c, t in partials]
+    return [_Candidate(counts=c, time_ms=t) for c, t in partials], dropped
 
 
 def valid_partial_samples(
@@ -184,6 +263,7 @@ class BubbleFill:
     bubble_index: int
     items: tuple[FillItem, ...]
     time_ms: float
+    candidates_dropped: int = 0
 
 
 def fill_one_bubble(
@@ -203,11 +283,11 @@ def fill_one_bubble(
     """
     d = bubble.weight
     tb = bubble.duration
-    candidates = full_batch_candidates(
+    candidates, dropped = full_batch_candidates(
         profile, ready, tb, d, max_candidates=max_candidates
     )
     if not candidates:
-        return BubbleFill(bubble_index, (), 0.0)
+        return BubbleFill(bubble_index, (), 0.0, dropped)
 
     # Selection needs only candidate *times*; FillItems are materialised
     # once, for the winner, after the scan.  ``best_partial`` describes
@@ -248,7 +328,7 @@ def fill_one_bubble(
                 best_partial = partial
 
     if best_cand is None:  # pragma: no cover - candidates always include ()
-        return BubbleFill(bubble_index, (), 0.0)
+        return BubbleFill(bubble_index, (), 0.0, dropped)
     items = _candidate_items(profile, ready, best_cand, d, bubble_index)
     if best_partial is not None:
         h, layer, samples, t = best_partial
@@ -262,7 +342,7 @@ def fill_one_bubble(
                 partial=True,
             )
         )
-    return BubbleFill(bubble_index, tuple(items), max(best_time, 0.0))
+    return BubbleFill(bubble_index, tuple(items), max(best_time, 0.0), dropped)
 
 
 def _candidate_items(
@@ -315,7 +395,7 @@ def apply_fill(
 
 
 class BubbleFiller:
-    """Drives §5 end to end: ready-set tracking + per-bubble Alg. 1.
+    """Drives §5 end to end: ready-set tracking + a pluggable policy.
 
     Parameters
     ----------
@@ -328,6 +408,10 @@ class BubbleFiller:
         iteration (the pipeline-group batch).
     enable_partial_batch:
         Ablation flag (Fig. 15's "partial-batch layer disabled").
+    strategy:
+        Name of a registered :class:`~repro.core.fill_strategies.FillStrategy`
+        (``greedy`` — the paper's Algorithms 1+2; ``lookahead`` — the
+        cross-bubble beam/DP planner; ``none`` — fill nothing).
     """
 
     def __init__(
@@ -339,6 +423,7 @@ class BubbleFiller:
         enable_partial_batch: bool = True,
         partial_batch_menu: Sequence[int] = VALID_LOCAL_BATCHES,
         max_candidates: int = DEFAULT_MAX_CANDIDATES,
+        strategy: str = "greedy",
     ):
         if batch <= 0:
             raise FillingError("batch must be positive")
@@ -348,6 +433,7 @@ class BubbleFiller:
         self.enable_partial_batch = enable_partial_batch
         self.partial_batch_menu = tuple(partial_batch_menu)
         self.max_candidates = max_candidates
+        self.strategy = strategy
         self.states: dict[str, ComponentState] = {
             comp.name: ComponentState(
                 name=comp.name,
@@ -359,20 +445,26 @@ class BubbleFiller:
 
     # -- ready-set management -----------------------------------------------------
 
-    def _done_names(self) -> set[str]:
-        done = {n for n, s in self.states.items() if s.done}
+    def _done_names(
+        self, states: Mapping[str, ComponentState] | None = None
+    ) -> set[str]:
+        states = self.states if states is None else states
+        done = {n for n, s in states.items() if s.done}
         # Trainable components never gate the non-trainable DAG here:
         # their outputs belong to the *previous* iteration under
         # cross-iteration pipelining (§3.2).
         done |= {c.name for c in self.model.components.values() if c.trainable}
         return done
 
-    def ready_components(self) -> list[ComponentState]:
+    def ready_components(
+        self, states: Mapping[str, ComponentState] | None = None
+    ) -> list[ComponentState]:
         """States of components whose dependencies are all complete."""
-        done = self._done_names()
+        states = self.states if states is None else states
+        done = self._done_names(states)
         ready = []
         for comp in self.model.non_trainable:
-            state = self.states[comp.name]
+            state = states[comp.name]
             if state.done:
                 continue
             if all(dep in done for dep in comp.depends_on):
@@ -384,46 +476,48 @@ class BubbleFiller:
     def fill(
         self, bubbles: Sequence[Bubble], leftover_devices: int = 1
     ) -> FillReport:
-        """Fill bubbles chronologically; return the complete report.
+        """Fill bubbles under the configured strategy; return the report.
 
         ``leftover_devices`` is the data-parallel width available for
         whatever does not fit in bubbles (normally the pipeline group
         size ``D``)."""
-        ordered = sorted(enumerate(bubbles), key=lambda ib: ib[1].start)
-        all_items: list[FillItem] = []
-        filled_device_time = 0.0
-        for index, bubble in ordered:
-            ready = self.ready_components()
-            if not ready:
-                if all(s.done for s in self.states.values()):
-                    break
-                continue
-            fill = fill_one_bubble(
-                self.profile,
-                ready,
-                bubble,
-                index,
-                enable_partial_batch=self.enable_partial_batch,
-                partial_batch_menu=self.partial_batch_menu,
-                max_candidates=self.max_candidates,
-            )
-            if not fill.items:
-                continue
-            apply_fill(self.states, fill)
-            all_items.extend(fill.items)
-            filled_device_time += fill.time_ms * bubble.weight
+        # Deferred import: the strategy module builds on this one.
+        from .fill_strategies import get_fill_strategy
 
-        leftover = self.leftover_ms(leftover_devices)
+        return get_fill_strategy(self.strategy).fill(
+            self, bubbles, leftover_devices
+        )
+
+    def build_report(
+        self,
+        bubbles: Sequence[Bubble],
+        items: Sequence[FillItem],
+        filled_device_time: float,
+        leftover_devices: int,
+        *,
+        candidates_dropped: int = 0,
+        per_bubble: Sequence[BubbleUtilization] = (),
+        states: Mapping[str, ComponentState] | None = None,
+    ) -> FillReport:
+        """Assemble the :class:`FillReport` shared by all strategies."""
+        leftover = self.leftover_ms(leftover_devices, states=states)
         return FillReport(
-            items=tuple(all_items),
+            items=tuple(items),
             filled_device_time_ms=filled_device_time,
             bubble_device_time_ms=sum(b.device_time for b in bubbles),
             leftover_ms=leftover,
             num_bubbles=len(bubbles),
             complete=leftover == 0.0,
+            strategy=self.strategy,
+            candidates_dropped=candidates_dropped,
+            per_bubble=tuple(per_bubble),
         )
 
-    def leftover_ms(self, total_devices: int | None = None) -> float:
+    def leftover_ms(
+        self,
+        total_devices: int | None = None,
+        states: Mapping[str, ComponentState] | None = None,
+    ) -> float:
         """Time to run the unscheduled remainder after the flush,
         data-parallel over ``total_devices`` (default: the weight sum
         implied by the model's pipeline group is unknown here, so the
@@ -431,9 +525,10 @@ class BubbleFiller:
         d = total_devices if total_devices is not None else 1
         if d <= 0:
             raise FillingError("total_devices must be positive")
+        states = self.states if states is None else states
         total = 0.0
         for comp in self.model.non_trainable:
-            state = self.states[comp.name]
+            state = states[comp.name]
             off = 0
             while state.next_layer + off < state.num_layers:
                 samples = state.layer_batch(off)

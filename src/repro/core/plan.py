@@ -99,6 +99,23 @@ class FillItem:
 
 
 @dataclass(frozen=True)
+class BubbleUtilization:
+    """Filling outcome of one bubble (for the per-bubble report)."""
+
+    bubble_index: int
+    duration_ms: float
+    weight: int
+    filled_ms: float                 # wall-clock time of the work placed
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the bubble's wall-clock capacity consumed."""
+        if self.duration_ms <= 0:
+            return 0.0
+        return min(1.0, self.filled_ms / self.duration_ms)
+
+
+@dataclass(frozen=True)
 class FillReport:
     """Outcome of bubble filling for one schedule."""
 
@@ -108,6 +125,11 @@ class FillReport:
     leftover_ms: float               # NT work executed after the flush
     num_bubbles: int
     complete: bool                   # True if all NT work fit in bubbles
+    strategy: str = "greedy"         # registry name of the fill strategy
+    #: candidates discarded by the FFC enumeration cap — non-zero means
+    #: the search was truncated, not that the fill is invalid
+    candidates_dropped: int = 0
+    per_bubble: tuple[BubbleUtilization, ...] = ()
 
     @property
     def fill_fraction(self) -> float:

@@ -36,7 +36,8 @@ from ..schedule.stages import StageExec
 from ..schedule.timeline import Timeline
 from .bubbles import DEFAULT_MIN_BUBBLE_MS, extract_bubbles
 from .cross_iteration import compose_iteration
-from .filling import VALID_LOCAL_BATCHES, BubbleFiller
+from .fill_strategies import FILL_STRATEGIES, fill_strategy_names
+from .filling import VALID_LOCAL_BATCHES, BubbleFiller, reset_prefix_cache
 from .lru import lru_get, lru_put
 from .partition import PartitionContext, partition_backbone
 from .partition_cdm import CDMPartitionContext, partition_cdm
@@ -52,6 +53,10 @@ class PlannerOptions:
     group_sizes: tuple[int, ...] | None = None   # None: divisors of world
     enable_bubble_filling: bool = True
     enable_partial_batch: bool = True
+    #: registry name of the bubble-filling policy (``greedy`` — the
+    #: paper's Algorithms 1+2; ``lookahead`` — cross-bubble DP/beam;
+    #: ``none`` — extract bubbles but fill nothing)
+    fill_strategy: str = "greedy"
     min_bubble_ms: float = DEFAULT_MIN_BUBBLE_MS
     partial_batch_menu: tuple[int, ...] = VALID_LOCAL_BATCHES
     heterogeneous_replication: bool = False
@@ -66,6 +71,11 @@ class PlannerOptions:
             raise ConfigurationError("max_stages must be at least 2")
         if not self.micro_batch_counts:
             raise ConfigurationError("micro_batch_counts must be non-empty")
+        if self.fill_strategy not in FILL_STRATEGIES:
+            raise ConfigurationError(
+                f"unknown fill strategy {self.fill_strategy!r}; "
+                f"registered: {fill_strategy_names()}"
+            )
 
 
 @dataclass(frozen=True)
@@ -106,6 +116,24 @@ class PlannerCaches:
     partition: "OrderedDict[tuple, object]" = field(default_factory=OrderedDict)
     comm: dict = field(default_factory=dict)
     evals: "OrderedDict[tuple, tuple]" = field(default_factory=OrderedDict)
+
+    def clear(self, profiles: Sequence[ProfileDB] = ()) -> None:
+        """Epoch reset for long-lived services.
+
+        Empties this store's memos and — for each profile passed —
+        wholesale-clears the float-keyed interpolation caches that have
+        no per-hit LRU bookkeeping (``ProfileDB._stage_cache``, each
+        ``LayerProfile``'s forward/backward memos, and the filling
+        prefix-time cache).  Everything is recomputed identically on
+        the next query, so a periodic ``clear`` bounds a service
+        sweeping unbounded distinct batch values without slowing the
+        hot interpolation path."""
+        self.partition.clear()
+        self.comm.clear()
+        self.evals.clear()
+        for profile in profiles:
+            profile.reset_caches()
+            reset_prefix_cache(profile)
 
 
 #: global memo of simulated pipeline timelines.  The key captures every
@@ -569,6 +597,7 @@ class DiffusionPipePlanner:
             # they are part of the key rather than a sharing hazard.
             opts.enable_bubble_filling,
             opts.enable_partial_batch,
+            opts.fill_strategy,
             opts.min_bubble_ms,
             opts.partial_batch_menu,
         )
@@ -645,6 +674,7 @@ class DiffusionPipePlanner:
                 _cache_timeline(tl_key, timeline)
 
         fill: FillReport | None = None
+        bubbles = None
         if self.options.enable_bubble_filling:
             bubbles = extract_bubbles(
                 timeline,
@@ -657,6 +687,7 @@ class DiffusionPipePlanner:
                 batch_per_group,
                 enable_partial_batch=self.options.enable_partial_batch,
                 partial_batch_menu=self.options.partial_batch_menu,
+                strategy=self.options.fill_strategy,
             )
             fill = filler.fill(bubbles, leftover_devices=partition.group_size)
 
@@ -665,5 +696,6 @@ class DiffusionPipePlanner:
             fill,
             nt_total,
             total_devices=partition.group_size,
+            bubbles=bubbles,
         )
         return est, fill, timeline

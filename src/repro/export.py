@@ -15,6 +15,7 @@ import json
 from typing import Mapping, Sequence
 
 from .core.plan import (
+    BubbleUtilization,
     ExecutionPlan,
     FillItem,
     FillReport,
@@ -172,6 +173,17 @@ def plan_to_dict(plan: ExecutionPlan) -> dict:
             "leftover_ms": plan.fill.leftover_ms,
             "num_bubbles": plan.fill.num_bubbles,
             "complete": plan.fill.complete,
+            "strategy": plan.fill.strategy,
+            "candidates_dropped": plan.fill.candidates_dropped,
+            "per_bubble": [
+                {
+                    "bubble_index": u.bubble_index,
+                    "duration_ms": u.duration_ms,
+                    "weight": u.weight,
+                    "filled_ms": u.filled_ms,
+                }
+                for u in plan.fill.per_bubble
+            ],
         }
     memory = None
     if plan.memory is not None:
@@ -217,6 +229,18 @@ def plan_from_dict(d: Mapping) -> ExecutionPlan:
             leftover_ms=float(fd["leftover_ms"]),
             num_bubbles=int(fd["num_bubbles"]),
             complete=bool(fd["complete"]),
+            # Defaults keep plans written before the strategy refactor loadable.
+            strategy=str(fd.get("strategy", "greedy")),
+            candidates_dropped=int(fd.get("candidates_dropped", 0)),
+            per_bubble=tuple(
+                BubbleUtilization(
+                    bubble_index=int(u["bubble_index"]),
+                    duration_ms=float(u["duration_ms"]),
+                    weight=int(u["weight"]),
+                    filled_ms=float(u["filled_ms"]),
+                )
+                for u in fd.get("per_bubble", ())
+            ),
         )
     memory = None
     if d.get("memory") is not None:

@@ -234,12 +234,19 @@ def ablation_throughputs(
     batches: Sequence[int] = (256, 384),
     options: PlannerOptions | None = None,
     heterogeneous: bool = False,
+    fill_strategies: Sequence[str] = ("lookahead",),
 ) -> dict[str, dict[int, float]]:
-    """DiffusionPipe vs partial-batch-disabled vs filling-disabled.
+    """DiffusionPipe vs partial-batch-disabled vs filling-disabled, plus
+    one column per extra fill strategy (the §5 policy ablation).
 
-    Works for cascaded models too; with ``heterogeneous=True`` the
-    planner admits non-divisible (S, D) combos for both the 1F1B and
-    the bidirectional CDM partitioners.
+    ``fill_strategies`` names registered
+    :class:`~repro.core.fill_strategies.FillStrategy` variants to
+    evaluate next to the paper's three Fig. 15 columns (the baseline
+    ``DiffusionPipe`` column is the ``greedy`` strategy); pass ``()``
+    to reproduce the paper's figure exactly.  Works for cascaded models
+    too; with ``heterogeneous=True`` the planner admits non-divisible
+    (S, D) combos for both the 1F1B and the bidirectional CDM
+    partitioners.
     """
     base = options or PlannerOptions(
         max_stages=4, micro_batch_counts=(1, 2, 3, 4, 6, 8), group_sizes=(2, 4, 8)
@@ -251,6 +258,10 @@ def ablation_throughputs(
         "Partial-batch disabled": replace(base, enable_partial_batch=False),
         "Bubble filling disabled": replace(base, enable_bubble_filling=False),
     }
+    for strategy in fill_strategies:
+        variants[f"Fill strategy: {strategy}"] = replace(
+            base, fill_strategy=strategy
+        )
     # The variants differ only in filling options, so they share every
     # partition (and, via the planner's global timeline memo, every
     # simulated schedule).

@@ -89,18 +89,25 @@ class ThroughputSweep:
         batches: Mapping[int, tuple[int, ...]] | None = None,
         planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
         heterogeneous: bool = False,
+        fill_strategy: str | None = None,
     ):
         self.model = model_factory()
         self.machine_counts = tuple(machine_counts)
         self.batches = dict(batches or SD_BATCHES)
         # ``heterogeneous`` lets the planner (and SPP, which shares its
         # options) evaluate non-divisible (S, D) combos with per-stage
-        # replica counts instead of skipping them.
-        self.planner_options = (
-            replace(planner_options, heterogeneous_replication=True)
-            if heterogeneous
-            else planner_options
-        )
+        # replica counts instead of skipping them; ``fill_strategy``
+        # swaps the bubble-filling policy (registry name) for the whole
+        # sweep.
+        if heterogeneous:
+            planner_options = replace(
+                planner_options, heterogeneous_replication=True
+            )
+        if fill_strategy is not None:
+            planner_options = replace(
+                planner_options, fill_strategy=fill_strategy
+            )
+        self.planner_options = planner_options
         # Layer profiles depend only on the device model, not the scale.
         self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
         # One memo store for the whole sweep: at each scale the planner
@@ -165,6 +172,7 @@ class CDMThroughputSweep:
         batches: Mapping[int, tuple[int, ...]] | None = None,
         planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
         heterogeneous: bool = False,
+        fill_strategy: str | None = None,
     ):
         self.model = model_factory()
         self.machine_counts = tuple(machine_counts)
@@ -172,12 +180,17 @@ class CDMThroughputSweep:
         # ``heterogeneous`` lets the planner evaluate non-divisible
         # (S, D) combos: the bidirectional partitioner assigns each
         # chain position its own replica count, shared by the co-located
-        # down/up stages.
-        self.planner_options = (
-            replace(planner_options, heterogeneous_replication=True)
-            if heterogeneous
-            else planner_options
-        )
+        # down/up stages.  ``fill_strategy`` swaps the bubble-filling
+        # policy (registry name) for the whole sweep.
+        if heterogeneous:
+            planner_options = replace(
+                planner_options, heterogeneous_replication=True
+            )
+        if fill_strategy is not None:
+            planner_options = replace(
+                planner_options, fill_strategy=fill_strategy
+            )
+        self.planner_options = planner_options
         self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
         self.caches = PlannerCaches()
 

@@ -111,6 +111,18 @@ class LayerProfile:
         """Forward + backward time at a batch size."""
         return self.forward_ms(batch) + self.backward_ms(batch)
 
+    def reset_caches(self) -> None:
+        """Drop the per-batch interpolation memos (generation reset).
+
+        The memos are plain dicts keyed by float batch values — a
+        long-lived service sweeping unbounded distinct batches would
+        grow them forever, and per-hit LRU bookkeeping on this hottest
+        of paths costs real time.  A cheap wholesale clear (called from
+        :meth:`ProfileDB.reset_caches` /
+        ``PlannerCaches.clear``) bounds them instead."""
+        self._fwd_cache.clear()  # type: ignore[attr-defined]
+        self._bwd_cache.clear()  # type: ignore[attr-defined]
+
     def output_bytes(self, batch: float) -> float:
         """Output activation size at a batch size."""
         return self.output_bytes_per_sample * batch
@@ -145,6 +157,19 @@ class ProfileDB:
                     raise ProfileError(
                         f"component {comp}: missing profile for layer {i}"
                     )
+
+    # -- cache management -----------------------------------------------------
+
+    def reset_caches(self) -> None:
+        """Generation/epoch reset of every float-keyed interpolation
+        memo: the stage-aggregate cache and each layer's per-batch
+        forward/backward caches.  Values are recomputed identically on
+        the next query (the memos are pure), so the only cost is the
+        warm-up; call this between epochs of a long-lived sweep to
+        bound memory without per-hit LRU bookkeeping."""
+        self._stage_cache.clear()
+        for profile in self._by_key.values():
+            profile.reset_caches()
 
     # -- lookups -------------------------------------------------------------
 

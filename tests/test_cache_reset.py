@@ -1,0 +1,80 @@
+"""Epoch reset of the float-keyed interpolation memos.
+
+`ProfileDB._stage_cache` and each `LayerProfile`'s per-batch
+forward/backward memos are plain dicts on the hottest interpolation
+path — deliberately without per-hit LRU bookkeeping.  A long-lived
+service sweeping unbounded distinct batch values grows them without
+bound; `ProfileDB.reset_caches()` (wired into `PlannerCaches.clear`)
+is the cheap generation reset that keeps them bounded.
+"""
+
+from repro.core import BubbleFiller, PlannerCaches
+from repro.core.filling import _PREFIX_CACHE
+from repro.core.bubbles import Bubble
+from tests.conftest import make_synthetic_db
+
+
+def _touch(db, batch):
+    db.stage_fwd_ms("backbone", 0, 8, batch)
+    db.stage_bwd_ms("backbone", 0, 8, batch)
+    db.fwd_ms("encoder", 0, batch)
+
+
+def test_profile_reset_caches_empties_all_memos():
+    db = make_synthetic_db()
+    for b in range(1, 50):
+        _touch(db, float(b))
+    layer = db.layer("backbone", 0)
+    assert len(db._stage_cache) > 0
+    assert len(layer._fwd_cache) > 0
+    assert len(layer._bwd_cache) > 0
+    db.reset_caches()
+    assert len(db._stage_cache) == 0
+    for comp in db.components():
+        for lp in db.layers(comp):
+            assert len(lp._fwd_cache) == 0
+            assert len(lp._bwd_cache) == 0
+    # Values recompute identically after the reset.
+    before = db.stage_fwd_ms("backbone", 0, 8, 17.0)
+    db.reset_caches()
+    assert db.stage_fwd_ms("backbone", 0, 8, 17.0) == before
+
+
+def test_long_lived_sweep_stays_bounded_with_epoch_resets():
+    """Sweeping distinct batch values grows the memos monotonically;
+    a periodic PlannerCaches.clear() keeps the high-water mark at one
+    epoch's worth instead of the whole history."""
+    db = make_synthetic_db()
+    caches = PlannerCaches()
+    epoch_size = 100
+    high_water = 0
+    for epoch in range(4):
+        for i in range(epoch_size):
+            _touch(db, 1.0 + epoch * epoch_size + i)
+        high_water = max(high_water, len(db._stage_cache))
+        caches.clear([db])
+        assert len(db._stage_cache) == 0
+    # Without resets four epochs would have accumulated 4x the entries.
+    assert high_water <= 2 * epoch_size + 1
+
+
+def test_planner_caches_clear_also_drops_prefix_cache():
+    from repro.models.zoo import uniform_model
+    from repro.cluster import single_node
+    from repro.profiling import Profiler
+
+    model = uniform_model()
+    profile = Profiler(single_node(8)).profile(model)
+    filler = BubbleFiller(profile, model, batch=64)
+    filler.fill(
+        [Bubble(start=0.0, end=25.0, devices=(0,), weight=1)],
+        leftover_devices=2,
+    )
+    assert len(_PREFIX_CACHE.get(profile, {})) > 0
+    caches = PlannerCaches()
+    caches.evals[("k",)] = ("v",)
+    caches.partition[("k",)] = "v"
+    caches.comm["k"] = "v"
+    caches.clear([profile])
+    assert profile not in _PREFIX_CACHE
+    assert not caches.evals and not caches.partition and not caches.comm

@@ -92,3 +92,40 @@ def test_plan_heterogeneous_cdm_non_divisible(capsys):
     out = capsys.readouterr().out
     assert "S=" in out and "D=" in out
     assert "throughput" in out
+
+
+def test_plan_fill_strategy_flag(capsys, tmp_path):
+    """--fill-strategy threads the registry name through the planner and
+    surfaces the fill telemetry rows."""
+    plan_path = tmp_path / "plan.json"
+    rc = main([
+        "plan", "--model", "sd", "--gpus", "8", "--batch", "64",
+        "--fill-strategy", "lookahead", "--out", str(plan_path),
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "fill strategy" in out
+    assert "lookahead" in out
+    assert "bubbles filled" in out
+    plan = json.loads(plan_path.read_text())
+    assert plan["fill"]["strategy"] == "lookahead"
+    assert "candidates_dropped" in plan["fill"]
+    assert plan["fill"]["per_bubble"]
+
+
+def test_plan_fill_strategy_none(capsys):
+    rc = main([
+        "plan", "--model", "sd", "--gpus", "8", "--batch", "64",
+        "--fill-strategy", "none",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "none" in out
+
+
+def test_fill_strategy_rejects_unknown():
+    with pytest.raises(SystemExit):
+        main([
+            "plan", "--model", "sd", "--gpus", "8", "--batch", "64",
+            "--fill-strategy", "psychic",
+        ])

@@ -101,3 +101,49 @@ def test_bubbles_of_real_1f1b_schedule():
 
 def test_empty_timeline():
     assert extract_bubbles(Timeline([], 2)) == []
+
+
+def test_sweep_line_matches_reference_on_crafted_timelines():
+    """Sweep-line vs the retained quadratic oracle: weights, sync spans,
+    custom horizons, shared edges."""
+    from repro.core import extract_bubbles_reference
+
+    cases = [
+        Timeline([_iv(0, 30, 0), _iv(10, 30, 1), _iv(20, 30, 2)], 3),
+        Timeline([_iv(0, 5, 0), _iv(8, 100, 0)], 1),
+        Timeline(
+            [_iv(0, 10, 0), _iv(10, 20, 0, TaskKind.SYNC), _iv(0, 20, 1)], 2
+        ),
+        Timeline(
+            [_iv(0, 20, 0), _iv(10, 20, 1)], 2, device_weights={0: 1, 1: 4}
+        ),
+        # Edges shared across devices: one device's idle ends exactly
+        # where another's begins.
+        Timeline([_iv(0, 10, 0), _iv(10, 20, 1), _iv(0, 20, 2)], 3),
+        Timeline([], 2),
+    ]
+    for tl in cases:
+        for sync in (True, False):
+            for min_ms in (0.0, 10.0):
+                for horizon in (None, 15.0):
+                    fast = extract_bubbles(
+                        tl, min_duration_ms=min_ms,
+                        include_sync_spans=sync, horizon=horizon,
+                    )
+                    ref = extract_bubbles_reference(
+                        tl, min_duration_ms=min_ms,
+                        include_sync_spans=sync, horizon=horizon,
+                    )
+                    assert fast == ref
+
+
+def test_sweep_line_merges_identical_adjacent_sets():
+    """Two disjoint idle spans of the same device set separated by a
+    zero-net-change edge group stay one bubble only when truly
+    contiguous — a device handing off to another splits the bubble."""
+    tl = Timeline([_iv(0, 10, 0), _iv(10, 20, 1)], 2)
+    bubbles = extract_bubbles(tl, min_duration_ms=0.0)
+    assert [(b.start, b.end, b.devices) for b in bubbles] == [
+        (0.0, 10.0, (1,)),
+        (10.0, 20.0, (0,)),
+    ]

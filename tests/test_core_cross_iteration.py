@@ -2,9 +2,17 @@
 
 import pytest
 
-from repro.core import FillReport, compose_iteration
+from repro.core import (
+    Bubble,
+    FillReport,
+    compose_iteration,
+    extract_bubbles,
+    strict_idle_in_bubbles,
+)
 from repro.core.plan import FillItem
-from repro.schedule import StageExec, build_1f1b, simulate
+from repro.schedule import StageExec, Task, TaskKind, Timeline, build_1f1b, simulate
+from repro.schedule import device_resource
+from repro.schedule.timeline import Interval
 
 
 def _timeline(S=2, M=2, f=10.0, b=20.0):
@@ -66,3 +74,78 @@ def test_fill_report_fraction():
         leftover_ms=0.0, num_bubbles=0, complete=True,
     )
     assert empty.fill_fraction == 0.0
+
+
+# -- view-consistent filled bubble-ratio (sync-heavy regression) --------------------
+
+
+def _iv(start, end, dev, kind=TaskKind.FORWARD):
+    task = Task(
+        task_id=f"{kind.value}@{dev}:{start}", resource=device_resource(dev),
+        duration=end - start, kind=kind, device=dev,
+    )
+    return Interval(start, end, task)
+
+
+def _sync_heavy_timeline():
+    """dev0: compute [0,10), a sub-threshold strict-idle gap [10,18),
+    compute [18,30), then a 70 ms gradient sync; dev1 busy throughout.
+    Strict idle = 8 ms (outside any fillable bubble); the only fillable
+    bubble is the sync span [30,100)."""
+    return Timeline(
+        [
+            _iv(0, 10, 0),
+            _iv(18, 30, 0),
+            _iv(30, 100, 0, TaskKind.SYNC),
+            _iv(0, 100, 1),
+        ],
+        num_devices=2,
+    )
+
+
+def test_strict_idle_in_bubbles_overlap():
+    tl = _sync_heavy_timeline()
+    bubbles = extract_bubbles(tl, min_duration_ms=10.0, include_sync_spans=True)
+    assert [(b.start, b.end) for b in bubbles] == [(30.0, 100.0)]
+    # The sync bubble contains no strict idle at all...
+    assert strict_idle_in_bubbles(tl, bubbles) == 0.0
+    # ...while with the threshold lowered the 8 ms strict gap is inside.
+    all_bubbles = extract_bubbles(tl, min_duration_ms=0.0,
+                                  include_sync_spans=True)
+    assert strict_idle_in_bubbles(tl, all_bubbles) == pytest.approx(8.0)
+
+
+def test_sync_heavy_fill_does_not_clamp_ratio_to_zero():
+    """Work overlapped with gradient sync must not erase the strict-idle
+    gap that was never fillable (the old accounting clamped to 0)."""
+    tl = _sync_heavy_timeline()
+    bubbles = extract_bubbles(tl, min_duration_ms=10.0, include_sync_spans=True)
+    assert tl.bubble_device_time() == pytest.approx(8.0)  # strict view
+    fill = FillReport(
+        items=(FillItem("e", 0, 64, 50.0, 0),),
+        filled_device_time_ms=50.0,          # all of it rides the sync span
+        bubble_device_time_ms=70.0,
+        leftover_ms=0.0,
+        num_bubbles=1,
+        complete=True,
+    )
+    est = compose_iteration(tl, fill, nt_total_ms=60.0, bubbles=bubbles)
+    # 8 ms of strict idle remain: it was outside the fillable pool.
+    assert est.bubble_ratio_filled == pytest.approx(
+        8.0 / (est.iteration_ms * 2)
+    )
+    assert est.bubble_ratio_filled > 0.0
+    # Without bubble metadata the historical (clamping) accounting applies.
+    est_legacy = compose_iteration(tl, fill, nt_total_ms=60.0)
+    assert est_legacy.bubble_ratio_filled == 0.0
+
+
+def test_fill_within_strict_capacity_keeps_historical_accounting():
+    """When the filled time fits the strict capacity inside the bubbles,
+    the refined accounting reduces to the historical subtraction."""
+    tl = _timeline()
+    bubbles = extract_bubbles(tl, min_duration_ms=0.0, include_sync_spans=True)
+    rep = _report(filled=30.0, bubble=60.0)
+    with_bubbles = compose_iteration(tl, rep, nt_total_ms=100.0, bubbles=bubbles)
+    without = compose_iteration(tl, rep, nt_total_ms=100.0)
+    assert with_bubbles.bubble_ratio_filled == without.bubble_ratio_filled

@@ -40,7 +40,10 @@ def _bubble(duration, weight=1, start=0.0, devices=None):
 
 def test_ffc_single_component_prefixes():
     db = _flat_db({"e": [3.0, 3.0, 3.0, 3.0]})
-    cands = full_batch_candidates(db, [_state("e", db)], bubble_ms=7.0, idle_devices=1)
+    cands, dropped = full_batch_candidates(
+        db, [_state("e", db)], bubble_ms=7.0, idle_devices=1
+    )
+    assert dropped == 0
     # k0 = 2 (3+3 <= 7 < 9); candidates k in {2, 1, 0}.
     counts = sorted(c.counts for c in cands)
     assert counts == [(0,), (1,), (2,)]
@@ -51,7 +54,7 @@ def test_ffc_single_component_prefixes():
 def test_ffc_two_components_cross_product():
     db = _flat_db({"a": [2.0, 2.0], "b": [3.0]})
     states = [_state("a", db), _state("b", db)]
-    cands = full_batch_candidates(db, states, bubble_ms=5.0, idle_devices=1)
+    cands, _ = full_batch_candidates(db, states, bubble_ms=5.0, idle_devices=1)
     combos = {c.counts for c in cands}
     # All combinations with total time <= 5: (2,0),(1,1),(1,0),(0,1),(0,0).
     assert combos == {(2, 0), (1, 1), (1, 0), (0, 1), (0, 0)}
@@ -69,7 +72,7 @@ def test_ffc_respects_head_remaining_batch():
     )
     st = _state("e", db)
     st.remaining = 32.0  # half of the 64-sample batch still pending
-    cands = full_batch_candidates(db, [st], bubble_ms=5.0, idle_devices=1)
+    cands, _ = full_batch_candidates(db, [st], bubble_ms=5.0, idle_devices=1)
     times = {c.counts: c.time_ms for c in cands}
     # Head at 32 samples costs ~4 ms -> fits; the next (full) layer wouldn't.
     assert times[(1,)] == pytest.approx(4.0, rel=0.05)
@@ -77,7 +80,7 @@ def test_ffc_respects_head_remaining_batch():
 
 def test_ffc_zero_bubble():
     db = _flat_db({"e": [3.0]})
-    cands = full_batch_candidates(db, [_state("e", db)], 0.0, 1)
+    cands, _ = full_batch_candidates(db, [_state("e", db)], 0.0, 1)
     assert {c.counts for c in cands} == {(0,)}
     with pytest.raises(FillingError):
         full_batch_candidates(db, [_state("e", db)], -1.0, 1)

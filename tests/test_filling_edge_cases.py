@@ -59,9 +59,11 @@ def test_candidate_cap_guards_blowup():
         ComponentState(name=f"c{i}", num_layers=12, batch=64.0)
         for i in range(4)
     ]
-    cands = full_batch_candidates(db, states, bubble_ms=50.0, idle_devices=1,
-                                  max_candidates=64)
+    cands, dropped = full_batch_candidates(db, states, bubble_ms=50.0,
+                                           idle_devices=1, max_candidates=64)
     assert 0 < len(cands) <= 64
+    # The cap is not silent: every discarded partial is accounted for.
+    assert dropped > 0
     # The cap keeps the best (time-maximal) candidates.
     best = max(c.time_ms for c in cands)
     assert best >= 0.5 * 12  # at least one full component scheduled

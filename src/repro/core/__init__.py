@@ -11,6 +11,7 @@ from .bubbles import (
 from .cross_iteration import (
     IterationEstimate,
     compose_iteration,
+    packed_fill_strict_credit,
     strict_idle_in_bubbles,
 )
 from .fill_strategies import (
@@ -24,6 +25,7 @@ from .filling import (
     VALID_LOCAL_BATCHES,
     BubbleFiller,
     ComponentState,
+    FillShapeCache,
     component_prefix_times,
     fill_one_bubble,
     full_batch_candidates,
@@ -68,6 +70,7 @@ __all__ = [
     "total_bubble_device_time",
     "IterationEstimate",
     "compose_iteration",
+    "packed_fill_strict_credit",
     "strict_idle_in_bubbles",
     "FILL_STRATEGIES",
     "FillStrategy",
@@ -78,6 +81,7 @@ __all__ = [
     "BubbleFiller",
     "BubbleUtilization",
     "ComponentState",
+    "FillShapeCache",
     "component_prefix_times",
     "fill_one_bubble",
     "full_batch_candidates",

@@ -44,6 +44,31 @@ class IterationEstimate:
         return max(0.0, self.warmup_extra_ms - self.leftover_ms)
 
 
+def _strict_window_overlap(
+    timeline: Timeline,
+    spans_by_device: dict,
+    device: int,
+    lo: float,
+    hi: float,
+) -> float:
+    """Replication-weighted overlap of ``[lo, hi)`` with ``device``'s
+    strict idle spans (sync counts as busy).  ``spans_by_device``
+    memoises the per-device span lists across calls so both strict
+    accounting paths share one definition of "strict idle"."""
+    spans = spans_by_device.get(device)
+    if spans is None:
+        spans = spans_by_device[device] = timeline.idle_spans(
+            device, include_sync_as_busy=True
+        )
+    overlap = 0.0
+    for sp in spans:
+        a = max(sp.start, lo)
+        b = min(sp.end, hi)
+        if b > a:
+            overlap += b - a
+    return overlap * timeline.device_weights[device]
+
+
 def strict_idle_in_bubbles(
     timeline: Timeline, bubbles: Sequence[Bubble]
 ) -> float:
@@ -61,18 +86,40 @@ def strict_idle_in_bubbles(
     spans_by_device: dict[int, list] = {}
     for b in bubbles:
         for d in b.devices:
-            spans = spans_by_device.get(d)
-            if spans is None:
-                spans = spans_by_device[d] = timeline.idle_spans(
-                    d, include_sync_as_busy=True
-                )
-            overlap = 0.0
-            for sp in spans:
-                lo = max(sp.start, b.start)
-                hi = min(sp.end, b.end)
-                if hi > lo:
-                    overlap += hi - lo
-            total += overlap * timeline.device_weights[d]
+            total += _strict_window_overlap(
+                timeline, spans_by_device, d, b.start, b.end
+            )
+    return total
+
+
+def packed_fill_strict_credit(
+    timeline: Timeline, bubbles: Sequence[Bubble], fill: FillReport
+) -> float:
+    """Strict-idle device-time the fill actually removes, placement-aware.
+
+    The filler packs each bubble's work from the bubble *start*: the
+    items of bubble ``b`` occupy ``[b.start, b.start + filled_ms)`` on
+    every device of the bubble (exactly how the Chrome-trace export
+    draws them).  The strict bubble-ratio metric only improves where
+    that window overlaps a device's *strict* idle spans — work riding a
+    gradient all-reduce keeps the device "busy" in the strict view.
+    This intersects the per-bubble fill window with each device's
+    strict-idle spans (replication-weighted), replacing the
+    work-on-strict-idle-first assumption, which credited sync-overlapped
+    work as if it had been placed on strict idle time and thereby
+    overstated utilization on sync-prefixed bubbles.
+    """
+    filled_by_index = {u.bubble_index: u.filled_ms for u in fill.per_bubble}
+    total = 0.0
+    spans_by_device: dict[int, list] = {}
+    for index, b in enumerate(bubbles):
+        filled = filled_by_index.get(index, 0.0)
+        if filled <= 0.0:
+            continue
+        for d in b.devices:
+            total += _strict_window_overlap(
+                timeline, spans_by_device, d, b.start, b.start + filled
+            )
     return total
 
 
@@ -130,19 +177,27 @@ def compose_iteration(
     # ``idle_before`` is the strict-idle view (sync counts as busy)
     # while ``fill.filled_device_time_ms`` was drawn from the fillable
     # pool (sync-inclusive) — work placed over a gradient all-reduce
-    # never removes strict idle time.  Cap the credit at the strict
-    # capacity actually inside the filled bubbles, so a sync-heavy
-    # timeline no longer clamps ``idle_after`` to 0 and understates the
-    # ratio.  While the fill fits that capacity (every sync-free
-    # timeline, and every paper-model sweep) the historical formula
-    # applies verbatim.
-    strict_in = (
-        idle_before if bubbles is None else strict_idle_in_bubbles(timeline, bubbles)
-    )
-    if fill.filled_device_time_ms <= strict_in:
-        idle_after = max(0.0, idle_before - fill.filled_device_time_ms)
+    # never removes strict idle time.  With the bubbles and the fill's
+    # per-bubble placement available, credit exactly the strict idle the
+    # packed fill windows cover (:func:`packed_fill_strict_credit`); on
+    # sync-free bubbles every window lies on strict idle, so this
+    # reduces verbatim to the historical subtraction.  Without placement
+    # data (pre-refactor reports, or no bubble metadata) fall back to
+    # capping the credit at the strict capacity inside the bubbles —
+    # the work-on-strict-idle-first assumption.
+    if bubbles is not None and fill.per_bubble:
+        credit = packed_fill_strict_credit(timeline, bubbles, fill)
+        idle_after = max(0.0, idle_before - credit)
     else:
-        idle_after = idle_before - strict_in
+        strict_in = (
+            idle_before
+            if bubbles is None
+            else strict_idle_in_bubbles(timeline, bubbles)
+        )
+        if fill.filled_device_time_ms <= strict_in:
+            idle_after = max(0.0, idle_before - fill.filled_device_time_ms)
+        else:
+            idle_after = idle_before - strict_in
     denom_after = iteration * devices
     ratio_after = idle_after / denom_after if denom_after > 0 else 0.0
 

@@ -52,6 +52,57 @@ _PREFIX_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
 _PREFIX_CACHE_MAX = 8192
 
 
+class FillShapeCache:
+    """Cross-evaluation memo for the lookahead fill, keyed by *shape*.
+
+    The lookahead search depends on the bubbles only through their
+    chronological (duration, weight) sequence — absolute start times
+    never enter the DP — plus the filler's context (profile, model,
+    batch, partial-batch knobs, beam settings, initial component
+    states).  A planner sweeping (S, M, D) combinations therefore
+    re-runs the same search whenever two timelines share that shape;
+    this cache lets every evaluation after the first reuse
+
+    * the per-bubble *expansion tables* (FFC candidates and the
+      partial-batch menus, keyed by ready-state signature + bubble
+      duration + weight),
+    * *beam prefixes* — the surviving state set after each bubble
+      position, so a shape sharing only a prefix resumes mid-search, and
+    * the *final plan* (items, per-bubble utilizations, telemetry and
+      terminal component states), replayed without any search at all.
+
+    Everything stored is immutable and profile-content-free (keys hold
+    a ``weakref`` to the :class:`ProfileDB`), and the three stores are
+    bounded LRUs, so a shared instance inside ``PlannerCaches`` neither
+    pins retired profiles nor grows without bound.
+    """
+
+    def __init__(
+        self,
+        *,
+        max_expansions: int = 8192,
+        max_prefixes: int = 2048,
+        max_finals: int = 1024,
+    ):
+        self.expansions: OrderedDict = OrderedDict()
+        self.prefixes: OrderedDict = OrderedDict()
+        self.finals: OrderedDict = OrderedDict()
+        self.max_expansions = max_expansions
+        self.max_prefixes = max_prefixes
+        self.max_finals = max_finals
+        #: telemetry: warm final-plan hits / cold searches stored
+        self.final_hits = 0
+        self.final_misses = 0
+
+    def clear(self) -> None:
+        """Drop every memoised expansion table, beam prefix and plan."""
+        self.expansions.clear()
+        self.prefixes.clear()
+        self.finals.clear()
+        self.final_hits = 0
+        self.final_misses = 0
+
+
 @dataclass
 class ComponentState:
     """Mutable filling progress of one non-trainable component.
@@ -411,7 +462,15 @@ class BubbleFiller:
     strategy:
         Name of a registered :class:`~repro.core.fill_strategies.FillStrategy`
         (``greedy`` — the paper's Algorithms 1+2; ``lookahead`` — the
-        cross-bubble beam/DP planner; ``none`` — fill nothing).
+        pruned cross-bubble beam/DP planner; ``lookahead_reference`` —
+        its unpruned differential oracle; ``none`` — fill nothing).
+    lookahead_beam:
+        Beam-width cap for the lookahead strategies (None: the
+        strategy's default).  The pruned ``lookahead`` runs narrower
+        than this by default and widens up to it at decision points.
+    fill_cache:
+        Optional :class:`FillShapeCache` shared across evaluations
+        (normally ``PlannerCaches.fills``); None disables shape caching.
     """
 
     def __init__(
@@ -424,9 +483,13 @@ class BubbleFiller:
         partial_batch_menu: Sequence[int] = VALID_LOCAL_BATCHES,
         max_candidates: int = DEFAULT_MAX_CANDIDATES,
         strategy: str = "greedy",
+        lookahead_beam: int | None = None,
+        fill_cache: "FillShapeCache | None" = None,
     ):
         if batch <= 0:
             raise FillingError("batch must be positive")
+        if lookahead_beam is not None and lookahead_beam < 1:
+            raise FillingError("lookahead_beam must be at least 1")
         self.profile = profile
         self.model = model
         self.batch = float(batch)
@@ -434,6 +497,8 @@ class BubbleFiller:
         self.partial_batch_menu = tuple(partial_batch_menu)
         self.max_candidates = max_candidates
         self.strategy = strategy
+        self.lookahead_beam = lookahead_beam
+        self.fill_cache = fill_cache
         self.states: dict[str, ComponentState] = {
             comp.name: ComponentState(
                 name=comp.name,
@@ -498,6 +563,8 @@ class BubbleFiller:
         candidates_dropped: int = 0,
         per_bubble: Sequence[BubbleUtilization] = (),
         states: Mapping[str, ComponentState] | None = None,
+        states_pruned: int = 0,
+        beam_peak: int = 0,
     ) -> FillReport:
         """Assemble the :class:`FillReport` shared by all strategies."""
         leftover = self.leftover_ms(leftover_devices, states=states)
@@ -511,6 +578,8 @@ class BubbleFiller:
             strategy=self.strategy,
             candidates_dropped=candidates_dropped,
             per_bubble=tuple(per_bubble),
+            states_pruned=states_pruned,
+            beam_peak=beam_peak,
         )
 
     def leftover_ms(

@@ -130,6 +130,12 @@ class FillReport:
     #: the search was truncated, not that the fill is invalid
     candidates_dropped: int = 0
     per_bubble: tuple[BubbleUtilization, ...] = ()
+    #: lookahead telemetry: states dropped by dominance pruning and beam
+    #: cuts during the search (0 for the non-searching strategies)
+    states_pruned: int = 0
+    #: lookahead telemetry: peak reachable-state count after dominance
+    #: pruning, before any beam cut (0 for the non-searching strategies)
+    beam_peak: int = 0
 
     @property
     def fill_fraction(self) -> float:

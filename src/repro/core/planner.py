@@ -37,7 +37,12 @@ from ..schedule.timeline import Timeline
 from .bubbles import DEFAULT_MIN_BUBBLE_MS, extract_bubbles
 from .cross_iteration import compose_iteration
 from .fill_strategies import FILL_STRATEGIES, fill_strategy_names
-from .filling import VALID_LOCAL_BATCHES, BubbleFiller, reset_prefix_cache
+from .filling import (
+    VALID_LOCAL_BATCHES,
+    BubbleFiller,
+    FillShapeCache,
+    reset_prefix_cache,
+)
 from .lru import lru_get, lru_put
 from .partition import PartitionContext, partition_backbone
 from .partition_cdm import CDMPartitionContext, partition_cdm
@@ -55,8 +60,13 @@ class PlannerOptions:
     enable_partial_batch: bool = True
     #: registry name of the bubble-filling policy (``greedy`` — the
     #: paper's Algorithms 1+2; ``lookahead`` — cross-bubble DP/beam;
-    #: ``none`` — extract bubbles but fill nothing)
+    #: ``lookahead_reference`` — its unpruned oracle; ``none`` —
+    #: extract bubbles but fill nothing)
     fill_strategy: str = "greedy"
+    #: beam-width cap of the lookahead fill strategies; the production
+    #: ``lookahead`` runs narrower by default and widens up to this at
+    #: decision points (see README "Bubble filling")
+    lookahead_beam: int = 64
     min_bubble_ms: float = DEFAULT_MIN_BUBBLE_MS
     partial_batch_menu: tuple[int, ...] = VALID_LOCAL_BATCHES
     heterogeneous_replication: bool = False
@@ -76,6 +86,8 @@ class PlannerOptions:
                 f"unknown fill strategy {self.fill_strategy!r}; "
                 f"registered: {fill_strategy_names()}"
             )
+        if self.lookahead_beam < 1:
+            raise ConfigurationError("lookahead_beam must be at least 1")
 
 
 @dataclass(frozen=True)
@@ -116,6 +128,12 @@ class PlannerCaches:
     partition: "OrderedDict[tuple, object]" = field(default_factory=OrderedDict)
     comm: dict = field(default_factory=dict)
     evals: "OrderedDict[tuple, tuple]" = field(default_factory=OrderedDict)
+    #: lookahead shape cache: expansion tables, beam prefixes and final
+    #: plans keyed by (context identity, timeline shape), so the
+    #: (S, M, D) sweep pays one cold search per distinct shape.  All
+    #: three inner stores are bounded LRUs; keys hold only weak profile
+    #: references (see :class:`~repro.core.filling.FillShapeCache`).
+    fills: FillShapeCache = field(default_factory=FillShapeCache)
 
     def clear(self, profiles: Sequence[ProfileDB] = ()) -> None:
         """Epoch reset for long-lived services.
@@ -131,6 +149,7 @@ class PlannerCaches:
         self.partition.clear()
         self.comm.clear()
         self.evals.clear()
+        self.fills.clear()
         for profile in profiles:
             profile.reset_caches()
             reset_prefix_cache(profile)
@@ -598,6 +617,7 @@ class DiffusionPipePlanner:
             opts.enable_bubble_filling,
             opts.enable_partial_batch,
             opts.fill_strategy,
+            opts.lookahead_beam,
             opts.min_bubble_ms,
             opts.partial_batch_menu,
         )
@@ -688,6 +708,8 @@ class DiffusionPipePlanner:
                 enable_partial_batch=self.options.enable_partial_batch,
                 partial_batch_menu=self.options.partial_batch_menu,
                 strategy=self.options.fill_strategy,
+                lookahead_beam=self.options.lookahead_beam,
+                fill_cache=self.caches.fills,
             )
             fill = filler.fill(bubbles, leftover_devices=partition.group_size)
 

@@ -175,6 +175,8 @@ def plan_to_dict(plan: ExecutionPlan) -> dict:
             "complete": plan.fill.complete,
             "strategy": plan.fill.strategy,
             "candidates_dropped": plan.fill.candidates_dropped,
+            "states_pruned": plan.fill.states_pruned,
+            "beam_peak": plan.fill.beam_peak,
             "per_bubble": [
                 {
                     "bubble_index": u.bubble_index,
@@ -229,9 +231,12 @@ def plan_from_dict(d: Mapping) -> ExecutionPlan:
             leftover_ms=float(fd["leftover_ms"]),
             num_bubbles=int(fd["num_bubbles"]),
             complete=bool(fd["complete"]),
-            # Defaults keep plans written before the strategy refactor loadable.
+            # Defaults keep plans written before the strategy refactor
+            # (and before the lookahead search telemetry) loadable.
             strategy=str(fd.get("strategy", "greedy")),
             candidates_dropped=int(fd.get("candidates_dropped", 0)),
+            states_pruned=int(fd.get("states_pruned", 0)),
+            beam_peak=int(fd.get("beam_peak", 0)),
             per_bubble=tuple(
                 BubbleUtilization(
                     bubble_index=int(u["bubble_index"]),

@@ -7,9 +7,10 @@ from repro.core import (
     FillReport,
     compose_iteration,
     extract_bubbles,
+    packed_fill_strict_credit,
     strict_idle_in_bubbles,
 )
-from repro.core.plan import FillItem
+from repro.core.plan import BubbleUtilization, FillItem
 from repro.schedule import StageExec, Task, TaskKind, Timeline, build_1f1b, simulate
 from repro.schedule import device_resource
 from repro.schedule.timeline import Interval
@@ -149,3 +150,117 @@ def test_fill_within_strict_capacity_keeps_historical_accounting():
     with_bubbles = compose_iteration(tl, rep, nt_total_ms=100.0, bubbles=bubbles)
     without = compose_iteration(tl, rep, nt_total_ms=100.0)
     assert with_bubbles.bubble_ratio_filled == without.bubble_ratio_filled
+
+
+# -- placement-aware per-bubble strict accounting ----------------------------------
+
+
+def _sync_prefix_timeline():
+    """dev0: compute [0,10), a 60 ms gradient sync [10,70), strict idle
+    [70,110), compute [110,120); dev1 busy throughout.  The fillable
+    bubble is [10,110) — a 60 ms sync *prefix* followed by 40 ms of
+    strict idle — so work packed from the bubble start rides the sync
+    span first."""
+    return Timeline(
+        [
+            _iv(0, 10, 0),
+            _iv(10, 70, 0, TaskKind.SYNC),
+            _iv(110, 120, 0),
+            _iv(0, 120, 1),
+        ],
+        num_devices=2,
+    )
+
+
+def _placed_report(filled_ms, bubbles):
+    per_bubble = tuple(
+        BubbleUtilization(
+            bubble_index=i, duration_ms=b.duration, weight=b.weight,
+            filled_ms=filled_ms,
+        )
+        for i, b in enumerate(bubbles)
+    )
+    return FillReport(
+        items=(FillItem("e", 0, 64, filled_ms, 0),),
+        filled_device_time_ms=filled_ms,
+        bubble_device_time_ms=sum(b.device_time for b in bubbles),
+        leftover_ms=0.0,
+        num_bubbles=len(bubbles),
+        complete=True,
+        per_bubble=per_bubble,
+    )
+
+
+def test_packed_credit_intersects_strict_spans():
+    tl = _sync_prefix_timeline()
+    bubbles = extract_bubbles(tl, min_duration_ms=10.0, include_sync_spans=True)
+    assert [(b.start, b.end) for b in bubbles] == [(10.0, 110.0)]
+    # A 50 ms fill packs [10, 60): entirely on the sync span.
+    assert packed_fill_strict_credit(tl, bubbles, _placed_report(50.0, bubbles)) == 0.0
+    # A 70 ms fill packs [10, 80): 10 ms spill onto the strict idle.
+    assert packed_fill_strict_credit(
+        tl, bubbles, _placed_report(70.0, bubbles)
+    ) == pytest.approx(10.0)
+    # A full 100 ms fill covers all 40 ms of strict idle.
+    assert packed_fill_strict_credit(
+        tl, bubbles, _placed_report(100.0, bubbles)
+    ) == pytest.approx(40.0)
+
+
+def test_work_on_strict_idle_first_overstated_utilization():
+    """The regression the placement-aware accounting exists for: a fill
+    that rides a sync prefix removes *no* strict idle, but the
+    work-on-strict-idle-first assumption credited it against the strict
+    capacity and reported the bubble as (partially) utilized."""
+    tl = _sync_prefix_timeline()
+    bubbles = extract_bubbles(tl, min_duration_ms=10.0, include_sync_spans=True)
+    assert tl.bubble_device_time() == pytest.approx(40.0)  # strict view
+    placed = _placed_report(50.0, bubbles)  # packs [10, 60): sync only
+    est = compose_iteration(tl, placed, nt_total_ms=60.0, bubbles=bubbles)
+    # All 40 ms of strict idle remain: nothing was placed on it.
+    assert est.bubble_ratio_filled == pytest.approx(40.0 / (est.iteration_ms * 2))
+    # The capacity-capped legacy path (no per-bubble placement data)
+    # would have credited min(50, 40) = 40 ms — utilization overstated.
+    legacy = FillReport(
+        items=placed.items,
+        filled_device_time_ms=placed.filled_device_time_ms,
+        bubble_device_time_ms=placed.bubble_device_time_ms,
+        leftover_ms=0.0, num_bubbles=1, complete=True,
+    )
+    est_legacy = compose_iteration(tl, legacy, nt_total_ms=60.0, bubbles=bubbles)
+    assert est_legacy.bubble_ratio_filled == 0.0
+    assert est.bubble_ratio_filled > est_legacy.bubble_ratio_filled
+
+
+def test_packed_credit_reduces_to_historical_on_sync_free_bubbles():
+    """Sync-free bubbles: every packed window lies on strict idle, so
+    the placement-aware credit equals the filled device-time and the
+    ratio matches the historical subtraction bit for bit."""
+    tl = _timeline()
+    bubbles = extract_bubbles(tl, min_duration_ms=0.0, include_sync_spans=True)
+    filled = 10.0
+    per_bubble = tuple(
+        BubbleUtilization(bubble_index=i, duration_ms=b.duration,
+                          weight=b.weight,
+                          filled_ms=filled if i == 0 else 0.0)
+        for i, b in enumerate(bubbles)
+    )
+    placed = FillReport(
+        items=(FillItem("e", 0, 64, filled, 0),),
+        filled_device_time_ms=filled * bubbles[0].weight,
+        bubble_device_time_ms=sum(b.device_time for b in bubbles),
+        leftover_ms=0.0, num_bubbles=len(bubbles), complete=True,
+        per_bubble=per_bubble,
+    )
+    assert packed_fill_strict_credit(tl, bubbles, placed) == pytest.approx(
+        placed.filled_device_time_ms
+    )
+    est = compose_iteration(tl, placed, nt_total_ms=100.0, bubbles=bubbles)
+    legacy = FillReport(
+        items=placed.items,
+        filled_device_time_ms=placed.filled_device_time_ms,
+        bubble_device_time_ms=placed.bubble_device_time_ms,
+        leftover_ms=0.0, num_bubbles=len(bubbles), complete=True,
+    )
+    est_legacy = compose_iteration(tl, legacy, nt_total_ms=100.0, bubbles=bubbles)
+    assert est.bubble_ratio_filled == est_legacy.bubble_ratio_filled

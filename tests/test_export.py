@@ -85,3 +85,41 @@ def test_partition_roundtrip(cluster8, uniform, uniform_profile):
     plan = _plan(cluster8, uniform, uniform_profile)
     p = plan.partition
     assert partition_from_dict(partition_to_dict(p)) == p
+
+
+def test_fill_telemetry_roundtrip(cluster8, uniform, uniform_profile):
+    """states_pruned / beam_peak survive (de)serialisation exactly."""
+    from dataclasses import replace
+
+    plan = _plan(cluster8, uniform, uniform_profile)
+    assert plan.fill is not None
+    plan = replace(
+        plan, fill=replace(plan.fill, strategy="lookahead",
+                           states_pruned=17, beam_peak=42)
+    )
+    d = json.loads(json.dumps(plan_to_dict(plan)))
+    assert d["fill"]["states_pruned"] == 17
+    assert d["fill"]["beam_peak"] == 42
+    back = plan_from_dict(d)
+    assert back.fill.states_pruned == 17
+    assert back.fill.beam_peak == 42
+    assert back == plan
+
+
+def test_pre_telemetry_exports_still_load(cluster8, uniform, uniform_profile):
+    """Plans written before the lookahead-telemetry fields (and before
+    the strategy refactor) deserialise with zeroed defaults."""
+    plan = _plan(cluster8, uniform, uniform_profile)
+    d = plan_to_dict(plan)
+    # Strip every post-refactor fill key, as an old export would lack them.
+    for key in ("strategy", "candidates_dropped", "per_bubble",
+                "states_pruned", "beam_peak"):
+        d["fill"].pop(key, None)
+    back = plan_from_dict(json.loads(json.dumps(d)))
+    assert back.fill.strategy == "greedy"
+    assert back.fill.candidates_dropped == 0
+    assert back.fill.per_bubble == ()
+    assert back.fill.states_pruned == 0
+    assert back.fill.beam_peak == 0
+    assert back.fill.leftover_ms == plan.fill.leftover_ms
+    assert back.fill.items == plan.fill.items

@@ -319,6 +319,126 @@ def test_lookahead_beam_cut_still_not_worse_than_greedy():
     assert filler.leftover_ms(2) == report.leftover_ms
 
 
+def test_planner_options_validate_lookahead_beam(uniform, uniform_profile):
+    with pytest.raises(ConfigurationError):
+        PlannerOptions(lookahead_beam=0)
+    assert PlannerOptions(lookahead_beam=8).lookahead_beam == 8
+    with pytest.raises(FillingError):
+        BubbleFiller(uniform_profile, uniform, batch=64, lookahead_beam=0)
+
+
+def test_lookahead_beam_threads_from_filler():
+    """``BubbleFiller.lookahead_beam`` overrides the strategy default
+    for both lookahead strategies (a beam of 1 degenerates the search,
+    but the greedy floor keeps the guarantee)."""
+    times = {"c0": [(22.5, 0.0)] * 2, "c1": [(66.5, 0.0)] * 3}
+    db = _db(times)
+    model = _nt_model("beamk", {"c0": 2, "c1": 3})
+    bubbles = [_bubble(30.0), _bubble(42.0, weight=2, start=40.0),
+               _bubble(28.5, weight=2, start=90.0)]
+    greedy = BubbleFiller(db, model, batch=64, strategy="greedy").fill(
+        bubbles, leftover_devices=2
+    )
+    for strategy in ("lookahead", "lookahead_reference"):
+        report = BubbleFiller(
+            db, model, batch=64, strategy=strategy, lookahead_beam=1
+        ).fill(bubbles, leftover_devices=2)
+        assert report.leftover_ms <= greedy.leftover_ms
+
+
+def test_lookahead_telemetry_populated():
+    times = {"c0": [(22.5, 0.0)] * 2, "c1": [(66.5, 0.0)] * 3}
+    db = _db(times)
+    model = _nt_model("telem", {"c0": 2, "c1": 3})
+    bubbles = [_bubble(30.0), _bubble(42.0, weight=2, start=40.0),
+               _bubble(28.5, weight=2, start=90.0)]
+    look = BubbleFiller(db, model, batch=64, strategy="lookahead").fill(
+        bubbles, leftover_devices=2
+    )
+    assert look.beam_peak >= 1
+    greedy = BubbleFiller(db, model, batch=64, strategy="greedy").fill(
+        bubbles, leftover_devices=2
+    )
+    assert greedy.states_pruned == 0 and greedy.beam_peak == 0
+
+
+# -- dominance relation ----------------------------------------------------------
+
+
+def test_state_dominance_compares_fresh_head_remaining():
+    from repro.core.fill_strategies import _state_dominates
+
+    # Strictly later head layer dominates regardless of remaining.
+    assert _state_dominates(((2, 64.0),), ((1, 4.0),))
+    # Same head layer: fewer fresh-head samples remaining dominates.
+    assert _state_dominates(((1, 16.0),), ((1, 64.0),))
+    assert not _state_dominates(((1, 64.0),), ((1, 16.0),))
+    # Behind on any component kills dominance.
+    assert not _state_dominates(((2, 64.0), (0, 64.0)), ((1, 64.0), (1, 64.0)))
+    # The naive layer-only relation would call these equal both ways;
+    # the safe relation orders them by remaining.
+    a, b = ((1, 8.0), (0, 64.0)), ((1, 32.0), (0, 64.0))
+    assert _state_dominates(a, b) and not _state_dominates(b, a)
+
+
+def _trap_instance(seed):
+    """The seeded generator the naive-dominance traps were mined from
+    (see test_lookahead_equivalence for the entropy-time rationale)."""
+    import random
+
+    PHI = (5 ** 0.5 - 1) / 2
+    rng = random.Random(seed)
+    comps = {}
+    for c in range(2):
+        n = rng.randint(1, 2)
+        comps[f"c{c}"] = [
+            (1.0 + ((rng.randrange(1, 10 ** 6)) * PHI) % 29.0, 0.0)
+            for _ in range(n)
+        ]
+    db = _db(comps)
+    model = _nt_model(f"trap{seed}", {n: len(v) for n, v in comps.items()})
+    nb = rng.randint(2, 3)
+    bubbles, t0 = [], 0.0
+    for _ in range(nb):
+        w = rng.randint(1, 3)
+        dur = 2.0 + ((rng.randrange(1, 10 ** 6)) * PHI) % 40.0
+        bubbles.append(_bubble(dur, weight=w, start=t0))
+        t0 += dur + 1.0
+    return db, model, bubbles
+
+
+@pytest.mark.parametrize("seed", [812, 2610, 3122, 3950, 3971, 4156])
+def test_naive_dominance_would_prune_the_optimum(seed, monkeypatch):
+    """Brute-force traps for the dominance relation: on these seeded
+    instances a *naive* dominance — comparing per-component progress
+    only, ignoring the fresh-head remaining (and the earn-bound filled
+    compensation) — prunes the state the optimal plan runs through, so
+    the naive search lands strictly above the exhaustive optimum.  The
+    safe relation keeps that state and stays bit-identical to the
+    unpruned reference."""
+    import repro.core.fill_strategies as fs
+
+    db, model, bubbles = _trap_instance(seed)
+    ref = BubbleFiller(
+        db, model, batch=64, strategy="lookahead_reference",
+        lookahead_beam=4096,
+    ).fill(bubbles, leftover_devices=2)
+    safe = BubbleFiller(
+        db, model, batch=64, strategy="lookahead", lookahead_beam=4096
+    ).fill(bubbles, leftover_devices=2)
+    assert safe.leftover_ms == ref.leftover_ms
+
+    monkeypatch.setattr(
+        fs, "_state_dominates",
+        lambda a, b: all(la >= lb for (la, _), (lb, _) in zip(a, b)),
+    )
+    monkeypatch.setattr(fs._SearchCtx, "earn_bound", lambda self, key: 0.0)
+    naive = BubbleFiller(
+        db, model, batch=64, strategy="lookahead", lookahead_beam=4096
+    ).fill(bubbles, leftover_devices=2)
+    assert naive.leftover_ms > ref.leftover_ms + 1e-9
+
+
 def test_lookahead_empty_and_no_ready_cases(uniform, uniform_profile):
     filler = BubbleFiller(
         uniform_profile, uniform, batch=64, strategy="lookahead"

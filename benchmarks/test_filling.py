@@ -32,13 +32,11 @@ from repro.core import (
     FillShapeCache,
     extract_bubbles,
     extract_bubbles_reference,
-    reset_prefix_cache,
 )
 from repro.core.planner import DiffusionPipePlanner, PlannerCaches
 from repro.harness.throughput import BENCH_PLANNER_OPTIONS
 from repro.models.zoo import stable_diffusion_v2_1
 from repro.profiling import Profiler
-from repro.core.filling import _PREFIX_CACHE
 from repro.models import ModelSpec
 from repro.models.zoo import timed_component
 from repro.profiling import ProfileDB
@@ -147,9 +145,10 @@ def _fill_workload():
 
 def test_cold_vs_warm_fill_prefix_cache(benchmark):
     model, profile, bubbles = _fill_workload()
+    caches = PlannerCaches()
 
     def run_fill():
-        filler = BubbleFiller(profile, model, batch=64)
+        filler = BubbleFiller(profile, model, batch=64, caches=caches)
         return filler.fill(bubbles, leftover_devices=DEVICES)
 
     def measure():
@@ -158,11 +157,11 @@ def test_cold_vs_warm_fill_prefix_cache(benchmark):
         cold = float("inf")
         cold_report = None
         for _ in range(2):
-            reset_prefix_cache(profile)
+            caches.prefixes.clear(profile)
             t0 = time.perf_counter()
             cold_report = run_fill()
             cold = min(cold, time.perf_counter() - t0)
-        entries = len(_PREFIX_CACHE[profile])
+        entries = caches.prefixes.entry_count(profile)
         assert entries > 0, "cold fill must populate the prefix cache"
         warm = float("inf")
         for _ in range(3):
@@ -171,7 +170,7 @@ def test_cold_vs_warm_fill_prefix_cache(benchmark):
             warm = min(warm, time.perf_counter() - t0)
             # Bit-identical outcome and no cache growth on warm passes.
             assert warm_report == cold_report
-            assert len(_PREFIX_CACHE[profile]) == entries
+            assert caches.prefixes.entry_count(profile) == entries
         return cold, warm
 
     report = benchmark.pedantic(run_fill, rounds=1, iterations=1)

@@ -35,14 +35,15 @@ HET_OPTIONS = PlannerOptions(
 BATCHES = (96, 192)
 
 
-def _planner(profile, model, cluster, **overrides):
+def _planner(profile, model, cluster, caches=None, **overrides):
     options = HET_OPTIONS
     if overrides:
         from dataclasses import replace
 
         options = replace(options, **overrides)
     return DiffusionPipePlanner(
-        model, cluster, profile, options=options, caches=PlannerCaches()
+        model, cluster, profile, options=options,
+        caches=caches if caches is not None else PlannerCaches(),
     )
 
 
@@ -85,45 +86,36 @@ def test_het_replication_sweep_end_to_end(benchmark):
     assert len({st.replicas for st in chain}) > 1, [st.replicas for st in chain]
 
 
-def test_het_dp_memo_speedup(monkeypatch):
-    """A repeated sweep (fresh planner + fresh PlannerCaches, same
+def test_het_dp_memo_speedup():
+    """A repeated sweep (fresh planner, shared PlannerCaches, same
     ProfileDB) must hit the per-profile heterogeneous DP memo and the
-    global timeline memo: >= 5x faster, bit-identical plans.
+    shared timeline memo: >= 5x faster, bit-identical plans.
 
     Filling is disabled so the measured work is the partition DP and the
     schedule simulation — the parts the memos cover (filling is
-    per-PlannerCaches and benchmarked above).
+    benchmarked above).
     """
-    from collections import OrderedDict
-
-    from repro.core import planner as planner_mod
-
-    from repro.core.partition import _HET_CACHE
-
     model = stable_diffusion_v2_1()
     cluster = single_node(6)
 
     def measure():
-        # Isolate the global timeline memo: the deterministic Profiler
-        # produces identical stage times across fresh ProfileDBs, so
-        # earlier tests could otherwise pre-warm the "cold" pass and
-        # shrink the measured ratio.
-        monkeypatch.setattr(planner_mod, "_TIMELINE_CACHE", OrderedDict())
-        # Fresh profile: the DP memo is weak-keyed by ProfileDB, so
-        # this guarantees a cold first pass even when other tests (or a
-        # previous measurement attempt) ran first.
+        # A fresh PlannerCaches isolates the timeline memo, and a fresh
+        # profile guarantees cold per-profile DP tables, even when other
+        # tests (or a previous measurement attempt) ran first.
+        caches = PlannerCaches()
         profile = Profiler(cluster).profile(model)
 
         def sweep():
             planner = _planner(
-                profile, model, cluster, enable_bubble_filling=False
+                profile, model, cluster, caches=caches,
+                enable_bubble_filling=False,
             )
             return {b: planner.plan(b).plan for b in BATCHES}
 
         t0 = time.perf_counter()
         first = sweep()
         cold = time.perf_counter() - t0
-        tables = len(_HET_CACHE[profile])
+        tables = caches.het.entry_count(profile)
         assert tables > 0, "cold sweep must build heterogeneous DP tables"
         # Best of three warm passes: the warm path is milliseconds of
         # cache reads, so a single scheduler stall on a shared CI
@@ -136,7 +128,7 @@ def test_het_dp_memo_speedup(monkeypatch):
             assert first == second, "memoized sweep must be bit-identical"
         # Structural memo-hit evidence, independent of wall clock: the
         # warm sweeps added no DP tables.
-        assert len(_HET_CACHE[profile]) == tables
+        assert caches.het.entry_count(profile) == tables
         return cold, warm
 
     # The wall-clock ratio is the acceptance criterion, but timing on

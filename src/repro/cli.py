@@ -12,6 +12,12 @@ Commands
     Compare DiffusionPipe against all baselines over a batch list.
 ``table1`` / ``table2``
     Print the profiling tables of §2.
+``serve``
+    Run the concurrent planning service (JSON lines over TCP).
+``bench-serve``
+    Drive a request stream against cold and snapshot-warmed services.
+``snapshot``
+    Warm the planner caches with a sweep and persist them to disk.
 """
 
 from __future__ import annotations
@@ -257,6 +263,59 @@ def cmd_table2(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    from .service import PlanService
+    from .service.server import serve
+
+    service = PlanService(workers=args.workers, snapshot=args.snapshot)
+    serve(
+        service,
+        args.host,
+        args.port,
+        ready_cb=lambda port: print(
+            f"repro serve listening on {args.host}:{port} "
+            f"({args.workers or 'thread'} workers)",
+            flush=True,
+        ),
+    )
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    from .service.bench import format_report, run_bench
+
+    report = run_bench(
+        model=args.model,
+        gpus=args.gpus,
+        batches=tuple(args.batches),
+        repeats=args.repeats,
+        snapshot_path=args.snapshot,
+        workers=args.workers,
+    )
+    print(format_report(report))
+    return 0 if report["identical_responses"] else 1
+
+
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    from .service import PlanRequest, PlanService
+
+    with PlanService() as service:
+        for batch in args.batches:
+            service.plan(
+                PlanRequest(
+                    model=args.model,
+                    gpus=args.gpus,
+                    batch=batch,
+                    heterogeneous=args.heterogeneous,
+                    fill_strategy=args.fill_strategy,
+                )
+            )
+        counts = service.snapshot(args.out)
+    total = sum(n for name, n in counts.items() if name != "skipped")
+    print(f"{total} cache entries written to {args.out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DiffusionPipe reproduction CLI"
@@ -314,6 +373,40 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("table1", help="print Table 1").set_defaults(func=cmd_table1)
     sub.add_parser("table2", help="print Table 2").set_defaults(func=cmd_table2)
+
+    p = sub.add_parser("serve", help="run the planning service")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=7461,
+                   help="TCP port (0 picks an ephemeral one)")
+    p.add_argument("--workers", type=int, default=0,
+                   help="worker processes; 0 evaluates on a thread pool "
+                        "sharing one in-process cache")
+    p.add_argument("--snapshot",
+                   help="warm caches from this snapshot file (see "
+                        "'repro snapshot')")
+    p.set_defaults(func=cmd_serve)
+
+    p = sub.add_parser("bench-serve",
+                       help="measure cold vs snapshot-warmed service latency")
+    p.add_argument("--model", default="sd", choices=sorted(MODELS))
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--batches", type=int, nargs="+", default=[64, 128, 256])
+    p.add_argument("--repeats", type=int, default=2)
+    p.add_argument("--workers", type=int, default=0)
+    p.add_argument("--snapshot", help="keep the snapshot file here")
+    p.set_defaults(func=cmd_bench_serve)
+
+    p = sub.add_parser("snapshot",
+                       help="warm the planner caches and persist them")
+    p.add_argument("--model", default="sd", choices=sorted(MODELS))
+    p.add_argument("--gpus", type=int, default=8)
+    p.add_argument("--batches", type=int, nargs="+",
+                   default=[64, 128, 256, 384])
+    p.add_argument("--heterogeneous", action="store_true")
+    p.add_argument("--fill-strategy", default="greedy",
+                   choices=fill_strategy_names())
+    p.add_argument("--out", required=True, help="snapshot file to write")
+    p.set_defaults(func=cmd_snapshot)
     return parser
 
 

@@ -8,6 +8,11 @@ from .bubbles import (
     longest_bubble,
     total_bubble_device_time,
 )
+from .caches import (
+    CacheStats,
+    PlannerCaches,
+    default_caches,
+)
 from .cross_iteration import (
     IterationEstimate,
     compose_iteration,
@@ -29,9 +34,9 @@ from .filling import (
     component_prefix_times,
     fill_one_bubble,
     full_batch_candidates,
-    reset_prefix_cache,
     valid_partial_samples,
 )
+from .lru import LruStore, ProfileKeyedStore, StoreStats
 from .instructions import Instruction, Op, format_streams, lower_timeline
 from .partition import (
     PartitionContext,
@@ -57,7 +62,6 @@ from .plan import (
 from .planner import (
     DiffusionPipePlanner,
     EvaluatedConfig,
-    PlannerCaches,
     PlannerOptions,
 )
 
@@ -80,12 +84,16 @@ __all__ = [
     "VALID_LOCAL_BATCHES",
     "BubbleFiller",
     "BubbleUtilization",
+    "CacheStats",
     "ComponentState",
     "FillShapeCache",
+    "LruStore",
+    "ProfileKeyedStore",
+    "StoreStats",
     "component_prefix_times",
+    "default_caches",
     "fill_one_bubble",
     "full_batch_candidates",
-    "reset_prefix_cache",
     "valid_partial_samples",
     "Instruction",
     "Op",

@@ -44,7 +44,6 @@ from typing import TYPE_CHECKING, Callable, Protocol, Sequence
 
 from ..errors import FillingError
 from .bubbles import Bubble
-from .lru import lru_get, lru_put
 from .plan import BubbleUtilization, FillItem, FillReport
 from .filling import (
     BubbleFill,
@@ -180,6 +179,7 @@ class GreedyFill:
                 enable_partial_batch=filler.enable_partial_batch,
                 partial_batch_menu=filler.partial_batch_menu,
                 max_candidates=filler.max_candidates,
+                store=filler.caches.prefixes,
             )
             dropped += fill.candidates_dropped
             per_bubble.append(_utilization(index, bubble, fill.time_ms))
@@ -273,6 +273,7 @@ class _SearchCtx:
         self.filler = filler
         self.profile = filler.profile
         self.batch = filler.batch
+        self.prefix_store = filler.caches.prefixes
         self.leftover_devices = leftover_devices
         comps = list(filler.model.non_trainable)
         self.names = [c.name for c in comps]
@@ -367,6 +368,7 @@ class _SearchCtx:
                     cell[1],
                     self.batch,
                     self.leftover_devices,
+                    self.prefix_store,
                 )[-1]
                 cells[(i, cell)] = v
             total += v
@@ -408,7 +410,7 @@ class _SearchCtx:
                     arrs = [
                         prefix_times_raw(
                             self.profile, self.names[i], n, next_layer,
-                            remaining, self.batch, d,
+                            remaining, self.batch, d, self.prefix_store,
                         )
                         for d in self.weights
                     ]
@@ -461,30 +463,28 @@ class _ExpansionTable:
     (FFC candidates, dropped count, lazily-filled partial menus).
 
     Backed either by a per-fill dict (the reference strategy) or by the
-    shared :class:`~repro.core.filling.FillShapeCache` store with an LRU
-    cap and a context-identity prefix (the production strategy), so a
-    planner sweep enumerates each distinct (state, bubble shape) point
-    once.  Entries are pure functions of their key, so sharing them
-    never changes results.
+    shared :class:`~repro.core.caches.FillShapeCache`'s bounded
+    ``expansions`` store with a context-identity prefix (the production
+    strategy), so a planner sweep enumerates each distinct (state,
+    bubble shape) point once.  Entries are pure functions of their key,
+    so sharing them never changes results.
     """
 
-    def __init__(self, store, prefix=None, max_entries: int | None = None):
+    def __init__(self, store, prefix=None):
         self._store = store
         self._prefix = prefix
-        self._max = max_entries
+        self._plain = isinstance(store, dict)
 
     def get(self, sig):
         key = sig if self._prefix is None else (self._prefix, sig)
-        if self._max is None:
-            return self._store.get(key)
-        return lru_get(self._store, key)
+        return self._store.get(key)
 
     def put(self, sig, value) -> None:
         key = sig if self._prefix is None else (self._prefix, sig)
-        if self._max is None:
+        if self._plain:
             self._store[key] = value
         else:
-            lru_put(self._store, key, value, self._max)
+            self._store.put(key, value)
 
 
 def _expand_state(
@@ -529,7 +529,8 @@ def _expand_state(
     entry = table.get(sig)
     if entry is None:
         candidates, cand_dropped = full_batch_candidates(
-            ctx.profile, ready, tb, d, max_candidates=cap
+            ctx.profile, ready, tb, d, max_candidates=cap,
+            store=ctx.prefix_store,
         )
         # Partial options depend only on (ready slot, full-batch count),
         # which many candidates share — enumerated once, lazily, into
@@ -648,6 +649,7 @@ def _greedy_baseline(
         partial_batch_menu=filler.partial_batch_menu,
         max_candidates=filler.max_candidates,
         strategy="greedy",
+        caches=filler.caches,
     )
     for name, state in filler.states.items():
         scratch.states[name].next_layer = state.next_layer
@@ -985,16 +987,14 @@ class LookaheadFill:
                 cap,
             )
             ckey = (ident, beam_cap, narrow, leftover_devices, init)
-            final = lru_get(cache.finals, (ckey, shape))
+            final = cache.finals.get((ckey, shape))
             if final is not None:
                 cache.final_hits += 1
                 return _replay_plan(
                     filler, ordered, bubbles, final, leftover_devices
                 )
             cache.final_misses += 1
-            table = _ExpansionTable(
-                cache.expansions, ident, cache.max_expansions
-            )
+            table = _ExpansionTable(cache.expansions, ident)
 
         beam: dict[_StateKey, tuple[float, int, _MoveNode]] = {
             init: (0.0, 0, None)
@@ -1010,8 +1010,8 @@ class LookaheadFill:
                 # timeline's distinct bubble weights, so a snapshot is
                 # only valid for timelines sharing that weight set —
                 # hence ``ctx.weights`` in the key next to the prefix.
-                snap = lru_get(
-                    cache.prefixes, (ckey, ctx.weights, shape[: p + 1])
+                snap = cache.prefixes.get(
+                    (ckey, ctx.weights, shape[: p + 1])
                 )
                 if snap is not None:
                     beam = dict(snap[0])
@@ -1068,11 +1068,9 @@ class LookaheadFill:
                 peak = len(nxt)
             beam = nxt
             if cache is not None and pos + 1 < len(ordered):
-                lru_put(
-                    cache.prefixes,
+                cache.prefixes.put(
                     (ckey, ctx.weights, shape[: pos + 1]),
                     (tuple(beam.items()), pruned_total, peak),
-                    cache.max_prefixes,
                 )
 
         best = _select(ctx, beam)
@@ -1105,12 +1103,7 @@ class LookaheadFill:
                 beam_peak=peak,
             )
         if cache is not None:
-            lru_put(
-                cache.finals,
-                (ckey, shape),
-                _plan_desc(filler, ordered, report),
-                cache.max_finals,
-            )
+            cache.finals.put((ckey, shape), _plan_desc(filler, ordered, report))
         return report
 
     # -- pruning -------------------------------------------------------------

@@ -19,23 +19,38 @@ pipeline flush, data-parallel over all devices.
 
 Per-layer prefix times (the cumulative execution time of a component's
 remaining chain at a given device width) are memoised per
-:class:`ProfileDB` in a weak-keyed bounded cache, so the enumeration is
+:class:`ProfileDB` in ``PlannerCaches.prefixes``, so the enumeration is
 shared across bubbles, across strategies, and across a sweep's repeated
 simulate-and-fill evaluations.
 """
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Mapping, Sequence
-from weakref import WeakKeyDictionary
 
 from ..errors import FillingError
 from ..models.graph import ModelSpec
 from ..profiling.records import ProfileDB
 from .bubbles import Bubble
+from .caches import FillShapeCache, PlannerCaches, default_caches
+from .lru import ProfileKeyedStore
 from .plan import BubbleUtilization, FillItem, FillReport
+
+__all__ = [
+    "VALID_LOCAL_BATCHES",
+    "DEFAULT_MAX_CANDIDATES",
+    "FillShapeCache",
+    "ComponentState",
+    "component_prefix_times",
+    "prefix_times_raw",
+    "full_batch_candidates",
+    "valid_partial_samples",
+    "BubbleFill",
+    "fill_one_bubble",
+    "apply_fill",
+    "BubbleFiller",
+]
 
 #: §5's empirical local-batch-size menu for partial-batch layers
 VALID_LOCAL_BATCHES: tuple[int, ...] = (4, 8, 12, 16, 24, 32, 48, 64, 96)
@@ -43,64 +58,6 @@ VALID_LOCAL_BATCHES: tuple[int, ...] = (4, 8, 12, 16, 24, 32, 48, 64, 96)
 #: safety cap on FFC candidate enumeration (the paper's models have at
 #: most three simultaneously-ready components, far below this)
 DEFAULT_MAX_CANDIDATES = 4096
-
-#: per-ProfileDB memo of component prefix-time arrays, keyed by
-#: (component, next layer, head remaining, batch, idle devices).  Weakly
-#: keyed so the arrays die with the profile; LRU-capped because the keys
-#: contain float batch values a long-lived sweep varies without bound.
-_PREFIX_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
-_PREFIX_CACHE_MAX = 8192
-
-
-class FillShapeCache:
-    """Cross-evaluation memo for the lookahead fill, keyed by *shape*.
-
-    The lookahead search depends on the bubbles only through their
-    chronological (duration, weight) sequence — absolute start times
-    never enter the DP — plus the filler's context (profile, model,
-    batch, partial-batch knobs, beam settings, initial component
-    states).  A planner sweeping (S, M, D) combinations therefore
-    re-runs the same search whenever two timelines share that shape;
-    this cache lets every evaluation after the first reuse
-
-    * the per-bubble *expansion tables* (FFC candidates and the
-      partial-batch menus, keyed by ready-state signature + bubble
-      duration + weight),
-    * *beam prefixes* — the surviving state set after each bubble
-      position, so a shape sharing only a prefix resumes mid-search, and
-    * the *final plan* (items, per-bubble utilizations, telemetry and
-      terminal component states), replayed without any search at all.
-
-    Everything stored is immutable and profile-content-free (keys hold
-    a ``weakref`` to the :class:`ProfileDB`), and the three stores are
-    bounded LRUs, so a shared instance inside ``PlannerCaches`` neither
-    pins retired profiles nor grows without bound.
-    """
-
-    def __init__(
-        self,
-        *,
-        max_expansions: int = 8192,
-        max_prefixes: int = 2048,
-        max_finals: int = 1024,
-    ):
-        self.expansions: OrderedDict = OrderedDict()
-        self.prefixes: OrderedDict = OrderedDict()
-        self.finals: OrderedDict = OrderedDict()
-        self.max_expansions = max_expansions
-        self.max_prefixes = max_prefixes
-        self.max_finals = max_finals
-        #: telemetry: warm final-plan hits / cold searches stored
-        self.final_hits = 0
-        self.final_misses = 0
-
-    def clear(self) -> None:
-        """Drop every memoised expansion table, beam prefix and plan."""
-        self.expansions.clear()
-        self.prefixes.clear()
-        self.finals.clear()
-        self.final_hits = 0
-        self.final_misses = 0
 
 
 @dataclass
@@ -160,15 +117,19 @@ class ComponentState:
 
 
 def component_prefix_times(
-    profile: ProfileDB, comp: ComponentState, idle_devices: int
+    profile: ProfileDB,
+    comp: ComponentState,
+    idle_devices: int,
+    store: ProfileKeyedStore | None = None,
 ) -> tuple[float, ...]:
     """Cumulative forward times of ``comp``'s remaining chain at local
     batch ``layer_batch / idle_devices``: entry ``k`` is the time of the
     first ``k`` remaining layers, accumulated left to right (so a prefix
     of the array is bit-identical to summing the truncated chain).
 
-    Memoised per profile; shared by every strategy and every bubble that
-    evaluates the same (state, device width) point.
+    Memoised in ``store`` (default: the process-wide
+    ``default_caches().prefixes``); shared by every strategy and every
+    bubble that evaluates the same (state, device width) point.
     """
     return prefix_times_raw(
         profile,
@@ -178,6 +139,7 @@ def component_prefix_times(
         comp.remaining,
         comp.batch,
         idle_devices,
+        store,
     )
 
 
@@ -189,16 +151,15 @@ def prefix_times_raw(
     remaining: float,
     batch: float,
     idle_devices: int,
+    store: ProfileKeyedStore | None = None,
 ) -> tuple[float, ...]:
     """:func:`component_prefix_times` on raw state fields — the hot
     form for search code that tracks states as plain tuples."""
-    per = _PREFIX_CACHE.get(profile)
-    if per is None:
-        per = _PREFIX_CACHE.setdefault(profile, OrderedDict())
+    if store is None:
+        store = default_caches().prefixes
     key = (name, next_layer, remaining, batch, idle_devices)
-    hit = per.get(key)
+    hit = store.get(profile, key)
     if hit is not None:
-        per.move_to_end(key)
         return hit
     prefix = [0.0]
     layer = next_layer
@@ -207,19 +168,8 @@ def prefix_times_raw(
         prefix.append(prefix[-1] + profile.fwd_ms(name, layer, b / idle_devices))
         layer += 1
     out = tuple(prefix)
-    while len(per) >= _PREFIX_CACHE_MAX:
-        per.popitem(last=False)
-    per[key] = out
+    store.put(profile, key, out)
     return out
-
-
-def reset_prefix_cache(profile: ProfileDB | None = None) -> None:
-    """Drop the memoised prefix-time arrays — all of them, or only the
-    given profile's (part of the ``PlannerCaches.clear`` epoch reset)."""
-    if profile is None:
-        _PREFIX_CACHE.clear()
-    else:
-        _PREFIX_CACHE.pop(profile, None)
 
 
 @dataclass(frozen=True)
@@ -237,6 +187,7 @@ def full_batch_candidates(
     idle_devices: int,
     *,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    store: ProfileKeyedStore | None = None,
 ) -> tuple[list[_Candidate], int]:
     """Algorithm 2 (FFC): all maximal-prefix combinations that fit.
 
@@ -262,7 +213,7 @@ def full_batch_candidates(
         # Cumulative times for this component's remaining chain (cached
         # across bubbles/strategies); layers beyond the bubble's own
         # capacity can never join a candidate.
-        prefix_time = component_prefix_times(profile, comp, idle_devices)
+        prefix_time = component_prefix_times(profile, comp, idle_devices, store)
         n_fit = 0
         while n_fit + 1 < len(prefix_time) and prefix_time[n_fit + 1] <= bubble_ms:
             n_fit += 1
@@ -326,6 +277,7 @@ def fill_one_bubble(
     enable_partial_batch: bool = True,
     partial_batch_menu: Sequence[int] = VALID_LOCAL_BATCHES,
     max_candidates: int = DEFAULT_MAX_CANDIDATES,
+    store: ProfileKeyedStore | None = None,
 ) -> BubbleFill:
     """Algorithm 1: choose the best filling for one bubble.
 
@@ -335,7 +287,7 @@ def fill_one_bubble(
     d = bubble.weight
     tb = bubble.duration
     candidates, dropped = full_batch_candidates(
-        profile, ready, tb, d, max_candidates=max_candidates
+        profile, ready, tb, d, max_candidates=max_candidates, store=store
     )
     if not candidates:
         return BubbleFill(bubble_index, (), 0.0, dropped)
@@ -471,6 +423,10 @@ class BubbleFiller:
     fill_cache:
         Optional :class:`FillShapeCache` shared across evaluations
         (normally ``PlannerCaches.fills``); None disables shape caching.
+    caches:
+        The :class:`PlannerCaches` owning the prefix-time store the
+        strategies consult (``caches.prefixes``); the process-wide
+        default instance when ``None``.
     """
 
     def __init__(
@@ -485,6 +441,7 @@ class BubbleFiller:
         strategy: str = "greedy",
         lookahead_beam: int | None = None,
         fill_cache: "FillShapeCache | None" = None,
+        caches: PlannerCaches | None = None,
     ):
         if batch <= 0:
             raise FillingError("batch must be positive")
@@ -492,6 +449,7 @@ class BubbleFiller:
             raise FillingError("lookahead_beam must be at least 1")
         self.profile = profile
         self.model = model
+        self.caches = caches if caches is not None else default_caches()
         self.batch = float(batch)
         self.enable_partial_batch = enable_partial_batch
         self.partial_batch_menu = tuple(partial_batch_menu)

@@ -35,15 +35,13 @@ homogeneous replication as in the paper's evaluation (footnote 2).
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Callable
-from weakref import WeakKeyDictionary
 
 from ..cluster.collectives import CommCosts
 from ..errors import ConfigurationError, PartitionError
 from ..profiling.records import ProfileDB
-from .lru import lru_get, lru_put
+from .caches import PlannerCaches, default_caches
 from .plan import PartitionPlan, StageAssignment
 
 
@@ -256,6 +254,7 @@ def partition_backbone(
     group_size: int,
     *,
     heterogeneous: bool = False,
+    caches: PlannerCaches | None = None,
 ) -> PartitionPlan:
     """Optimally cut one backbone into ``num_stages`` stages (§4.1/§4.3).
 
@@ -263,8 +262,10 @@ def partition_backbone(
     ``group_size / num_stages`` devices (the paper's evaluation setting,
     footnote 2) and the DP state is (layers, stages).  With
     ``heterogeneous=True`` the per-stage replica count is free and the
-    remaining-device count joins the state (Eqns. 7-9).
+    remaining-device count joins the state (Eqns. 7-9).  ``caches``
+    holds the memoised DP tables (the process-wide default when None).
     """
+    caches = caches if caches is not None else default_caches()
     S = num_stages
     D = group_size
     M = ctx.num_micro_batches
@@ -279,7 +280,7 @@ def partition_backbone(
         raise PartitionError(f"cannot place {S} stages on {D} devices")
 
     if heterogeneous:
-        return _partition_heterogeneous(ctx, S, D)
+        return _partition_heterogeneous(ctx, S, D, caches)
 
     if D % S != 0:
         raise PartitionError(
@@ -297,7 +298,7 @@ def partition_backbone(
             f"uniform replication r={r} needs at least {r} samples per "
             f"micro-batch (got {ctx.micro_batch:g})"
         )
-    plan_stages, w, w_sc, y, obj = _solve_chain(ctx, r, L, S)
+    plan_stages, w, w_sc, y, obj = _solve_chain(ctx, r, L, S, caches)
     stages = tuple(
         StageAssignment(ctx.component, lo, hi, replicas=r) for lo, hi in plan_stages
     )
@@ -335,23 +336,8 @@ def _objective(
     return p * sc + (1.0 - p) * vanilla
 
 
-#: per-ProfileDB memo of chain-DP histories.  The Pareto frontiers of
-#: ``_chain_frontiers`` depend only on (component, S, the stage-local
-#: batch size, the communication constants, the self-conditioning flag)
-#: — notably *not* on the micro-batch count M or the self-conditioning
-#: probability, which enter only the final objective selection.  Keyed
-#: weakly by the profile so sweeps sharing one DB (planner + SPP +
-#: ablation variants) share the expensive DP work, and caches die with
-#: the profile.  The per-profile dict is a bounded LRU like
-#: ``_HET_CACHE``'s: the stage-local batch key is a continuous float,
-#: so a long-lived service sweeping arbitrary batches must not
-#: accumulate O(S * L) histories without bound.
-_CHAIN_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
-_CHAIN_CACHE_MAX_TABLES = 1024
-
-
 def _chain_frontiers(
-    ctx: PartitionContext, r: int, L: int, S: int
+    ctx: PartitionContext, r: int, L: int, S: int, caches: PlannerCaches
 ) -> tuple[list[list[list[tuple]]], float]:
     """The (memoized) Pareto-DP table of :func:`_solve_chain`.
 
@@ -363,10 +349,15 @@ def _chain_frontiers(
     without self-conditioning), computed with the table while the
     :class:`StageCosts` are warm.  The key is derived arithmetically —
     the O(L) prefix sums are built only on a cache miss.
+
+    Tables live in ``caches.chains``, keyed weakly by the profile so
+    sweeps sharing one DB (planner + SPP + ablation variants) share
+    the expensive DP work and tables die with the profile.  The
+    frontiers depend only on (component, S, the stage-local batch
+    size, the communication constants, the self-conditioning flag) —
+    notably *not* on the micro-batch count M or the self-conditioning
+    probability, which enter only the final objective selection.
     """
-    db_cache = _CHAIN_CACHE.get(ctx.profile)
-    if db_cache is None:
-        db_cache = _CHAIN_CACHE.setdefault(ctx.profile, OrderedDict())
     key = (
         ctx.component,
         L,
@@ -381,7 +372,7 @@ def _chain_frontiers(
         ctx.allreduce_for(r),
         ctx.self_conditioning,
     )
-    cached = lru_get(db_cache, key)
+    cached = caches.chains.get(ctx.profile, key)
     if cached is not None:
         return cached
 
@@ -422,18 +413,18 @@ def _chain_frontiers(
     # warm-path call just for this one value.
     tf = costs.feedback_ms() if ctx.self_conditioning else 0.0
     cached = (history, tf)
-    lru_put(db_cache, key, cached, _CHAIN_CACHE_MAX_TABLES)
+    caches.chains.put(ctx.profile, key, cached)
     return cached
 
 
 def _solve_chain(
-    ctx: PartitionContext, r: int, L: int, S: int
+    ctx: PartitionContext, r: int, L: int, S: int, caches: PlannerCaches
 ) -> tuple[list[tuple[int, int]], float, float, float, float]:
     """Pareto DP over prefixes for a fixed replica count.
 
     Returns (stage slices, W, W_sc, Y, objective).
     """
-    history, tf = _chain_frontiers(ctx, r, L, S)
+    history, tf = _chain_frontiers(ctx, r, L, S, caches)
     final = history[S][L]
     if not final:
         raise PartitionError(
@@ -479,24 +470,8 @@ class _LazyStageCosts:
         return costs
 
 
-#: per-ProfileDB memo of heterogeneous-DP histories, mirroring
-#: ``_CHAIN_CACHE``.  The ``(layers, stages, devices)`` Pareto tables of
-#: :func:`_het_frontiers` depend only on (component, L, S, D, the
-#: per-group micro-batch size, the communication constants, the
-#: self-conditioning flag) — not on the micro-batch *count* M or the
-#: self-conditioning probability, which enter only the final objective
-#: selection.  Sweeps sharing one DB (planner + SPP + ablation variants
-#: via :class:`~repro.core.planner.PlannerCaches`) therefore share the
-#: expensive DP work, and the tables die with the profile.  The
-#: per-profile dict is itself a bounded LRU: each entry pins an
-#: O(S * D * L) Pareto history, so a long-lived service planning
-#: arbitrary batch sizes must not accumulate tables without bound.
-_HET_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
-_HET_CACHE_MAX_TABLES = 256
-
-
 def _het_frontiers(
-    ctx: PartitionContext, L: int, S: int, D: int
+    ctx: PartitionContext, L: int, S: int, D: int, caches: PlannerCaches
 ) -> tuple[list[dict[tuple[int, int], list[tuple]]], dict[int, float]]:
     """The (memoized) Pareto-DP table of :func:`_partition_heterogeneous`.
 
@@ -511,10 +486,16 @@ def _het_frontiers(
     table — while the per-``r`` ``StageCosts`` are warm — and cached
     alongside it, so neither cold nor hit paths rebuild O(L) prefix sums
     for the final selection.
+
+    Tables live in ``caches.het``: the ``(layers, stages, devices)``
+    Pareto tables depend only on (component, L, S, D, the per-group
+    micro-batch size, the communication constants, the
+    self-conditioning flag) — not on the micro-batch *count* M or the
+    self-conditioning probability, which enter only the final objective
+    selection — so sweeps sharing one DB (planner + SPP + ablation
+    variants via one :class:`PlannerCaches`) share the expensive DP
+    work, and the tables die with the profile.
     """
-    db_cache = _HET_CACHE.get(ctx.profile)
-    if db_cache is None:
-        db_cache = _HET_CACHE.setdefault(ctx.profile, OrderedDict())
     key = (
         ctx.component,
         L,
@@ -528,7 +509,7 @@ def _het_frontiers(
         ctx.sync_key,
         ctx.self_conditioning,
     )
-    cached = lru_get(db_cache, key)
+    cached = caches.het.get(ctx.profile, key)
     if cached is not None:
         return cached
 
@@ -609,12 +590,12 @@ def _het_frontiers(
                 tf_by_r[r] = costs_for(r).feedback_ms()
 
     cached = (history, tf_by_r)
-    lru_put(db_cache, key, cached, _HET_CACHE_MAX_TABLES)
+    caches.het.put(ctx.profile, key, cached)
     return cached
 
 
 def _partition_heterogeneous(
-    ctx: PartitionContext, S: int, D: int
+    ctx: PartitionContext, S: int, D: int, caches: PlannerCaches
 ) -> PartitionPlan:
     """General DP with per-stage replica counts (Eqns. 7-9).
 
@@ -622,11 +603,11 @@ def _partition_heterogeneous(
     frontier of (W, W_sc, Y) with backtracking info (cut, replicas,
     parent index).  Stage costs depend on the stage's own replica count;
     :class:`StageCosts` are built lazily per used ``r`` and the DP table
-    is memoized per profile (see :data:`_HET_CACHE`), so only the final
+    is memoized per profile (``caches.het``), so only the final
     M-dependent objective selection runs per call.
     """
     L = ctx.profile.num_layers(ctx.component)
-    history, tf_by_r = _het_frontiers(ctx, L, S, D)
+    history, tf_by_r = _het_frontiers(ctx, L, S, D, caches)
 
     # Accept any full assignment that uses all L layers; devices may be
     # partially used but using all of them never hurts, so prefer d = D.

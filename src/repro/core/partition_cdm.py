@@ -31,13 +31,11 @@ whose stage chains are concatenated (§4.2's grouping rule); see
 
 from __future__ import annotations
 
-from collections import OrderedDict
 from dataclasses import dataclass
-from weakref import WeakKeyDictionary
 
 from ..errors import ConfigurationError, PartitionError
 from ..profiling.records import ProfileDB
-from .lru import lru_get, lru_put
+from .caches import PlannerCaches, default_caches
 from .partition import (
     PartitionContext,
     StageCosts,
@@ -48,23 +46,6 @@ from .plan import PartitionPlan, StageAssignment
 
 #: the paper enlarges communication by 2x for bidirectional pipelines
 CDM_COMM_SCALE = 2.0
-
-#: per-ProfileDB memo of uniform-replication CDM DP tables (see
-#: ``_cdm_frontiers``): like the single-backbone frontier cache, the
-#: table is independent of the micro-batch counts, which only scale the
-#: final objective selection.  The per-profile dict is a bounded LRU
-#: like its partition.py siblings: the stage-local batch keys are
-#: continuous floats, so a long-lived service sweeping arbitrary batches
-#: must not pin O(S * L^2) tables without bound.
-_CDM_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
-_CDM_CACHE_MAX_TABLES = 256
-
-#: per-ProfileDB memo of heterogeneous CDM DP tables (see
-#: ``_cdm_het_frontiers``), mirroring ``_HET_CACHE`` in partition.py:
-#: keys carry the per-group micro-batch (per-``r`` local batches are
-#: derived inside) and the device count, but not the micro-batch counts.
-_CDM_HET_CACHE: "WeakKeyDictionary[ProfileDB, OrderedDict]" = WeakKeyDictionary()
-_CDM_HET_CACHE_MAX_TABLES = 256
 
 
 @dataclass(frozen=True)
@@ -261,6 +242,7 @@ def _cdm_frontiers(
     ctx: CDMPartitionContext,
     S: int,
     r: int,
+    caches: PlannerCaches,
     *,
     cut_step: int,
     max_frontier: int,
@@ -275,13 +257,10 @@ def _cdm_frontiers(
     keyed by the stage-local batches — two (micro-batch, r) combos
     sharing a local batch and sync constants share one table (the
     backtracker applies its caller's own ``r`` to the assignments).
+    Tables live in ``caches.cdm``, keyed by the shared profile; the
+    rare split-profile contexts stay uncached.
     """
     cacheable = ctx.down.profile is ctx.up.profile
-    db_cache = None
-    if cacheable:
-        db_cache = _CDM_CACHE.get(ctx.down.profile)
-        if db_cache is None:
-            db_cache = _CDM_CACHE.setdefault(ctx.down.profile, OrderedDict())
     key = (
         ctx.down.component,
         ctx.up.component,
@@ -302,16 +281,16 @@ def _cdm_frontiers(
         cut_step,
         max_frontier,
     )
-    if db_cache is not None:
-        cached = lru_get(db_cache, key)
+    if cacheable:
+        cached = caches.cdm.get(ctx.down.profile, key)
         if cached is not None:
             return cached
     frontiers = _cdm_dp_table(
         ctx, S, cut_step=cut_step, max_frontier=max_frontier, ld=ld, lu=lu,
         D=S * r, r_cap=r, fixed_r=r,
     )
-    if db_cache is not None:
-        lru_put(db_cache, key, frontiers, _CDM_CACHE_MAX_TABLES)
+    if cacheable:
+        caches.cdm.put(ctx.down.profile, key, frontiers)
     return frontiers
 
 
@@ -319,6 +298,7 @@ def _cdm_het_frontiers(
     ctx: CDMPartitionContext,
     S: int,
     D: int,
+    caches: PlannerCaches,
     *,
     cut_step: int,
     max_frontier: int,
@@ -332,15 +312,9 @@ def _cdm_het_frontiers(
     Like the uniform table, the frontier values depend on the per-group
     micro-batch (per-``r`` local batches are derived inside) but not on
     the micro-batch counts, which only scale the final selection.
+    Tables live in ``caches.cdm_het``.
     """
     cacheable = ctx.down.profile is ctx.up.profile
-    db_cache = None
-    if cacheable:
-        db_cache = _CDM_HET_CACHE.get(ctx.down.profile)
-        if db_cache is None:
-            db_cache = _CDM_HET_CACHE.setdefault(
-                ctx.down.profile, OrderedDict()
-            )
     key = (
         ctx.down.component,
         ctx.up.component,
@@ -351,7 +325,7 @@ def _cdm_het_frontiers(
         ctx.down.p2p,
         # One table spans every replica count, so the key carries the
         # sync model's identity (the per-r resolver's constant tuple, or
-        # the flat CommCosts pair), exactly like ``_HET_CACHE``.
+        # the flat CommCosts pair), exactly like ``PlannerCaches.het``.
         ctx.down.sync_key,
         ctx.up.p2p,
         ctx.up.sync_key,
@@ -359,8 +333,8 @@ def _cdm_het_frontiers(
         cut_step,
         max_frontier,
     )
-    if db_cache is not None:
-        cached = lru_get(db_cache, key)
+    if cacheable:
+        cached = caches.cdm_het.get(ctx.down.profile, key)
         if cached is not None:
             return cached
     # Physical feasibility: every replica of either co-located stage
@@ -373,8 +347,8 @@ def _cdm_het_frontiers(
         ctx, S, cut_step=cut_step, max_frontier=max_frontier, ld=ld, lu=lu,
         D=D, r_cap=r_cap, fixed_r=None,
     )
-    if db_cache is not None:
-        lru_put(db_cache, key, frontiers, _CDM_HET_CACHE_MAX_TABLES)
+    if cacheable:
+        caches.cdm_het.put(ctx.down.profile, key, frontiers)
     return frontiers
 
 
@@ -470,6 +444,7 @@ def partition_cdm(
     cut_step: int = 1,
     max_frontier: int = 8,
     heterogeneous: bool = False,
+    caches: PlannerCaches | None = None,
 ) -> PartitionPlan:
     """Optimal bidirectional partition of two backbones (Eqns. 13-16).
 
@@ -485,7 +460,11 @@ def partition_cdm(
     chains.  ``max_frontier`` caps each state's Pareto set, keeping the
     lowest-``W`` entries (frontiers are tiny in practice; the cap is a
     worst-case guard).
+
+    DP tables are memoized in ``caches`` (the process-wide default
+    instance when ``None``).
     """
+    caches = caches if caches is not None else default_caches()
     S = num_stages
     D = group_size
     if S <= 0 or D <= 0:
@@ -504,7 +483,7 @@ def partition_cdm(
 
     if heterogeneous:
         frontiers = _cdm_het_frontiers(
-            ctx, S, D, cut_step=cut_step, max_frontier=max_frontier,
+            ctx, S, D, caches, cut_step=cut_step, max_frontier=max_frontier,
             ld=ld, lu=lu,
         )
         return _cdm_select_plan(
@@ -526,7 +505,8 @@ def partition_cdm(
             f"{ctx.down.micro_batch:g}/{ctx.up.micro_batch:g})"
         )
     frontiers = _cdm_frontiers(
-        ctx, S, r, cut_step=cut_step, max_frontier=max_frontier, ld=ld, lu=lu
+        ctx, S, r, caches, cut_step=cut_step, max_frontier=max_frontier,
+        ld=ld, lu=lu,
     )
     return _cdm_select_plan(ctx, S, D, frontiers, ld, lu, replicas=r)
 

@@ -18,8 +18,7 @@ and finally returns the configuration with the highest throughput.
 from __future__ import annotations
 
 import weakref
-from collections import OrderedDict
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from fractions import Fraction
 from typing import Iterator, Sequence
 
@@ -35,18 +34,23 @@ from ..schedule.simulator import simulate
 from ..schedule.stages import StageExec
 from ..schedule.timeline import Timeline
 from .bubbles import DEFAULT_MIN_BUBBLE_MS, extract_bubbles
+from .caches import CacheStats, PlannerCaches, default_caches
 from .cross_iteration import compose_iteration
 from .fill_strategies import FILL_STRATEGIES, fill_strategy_names
-from .filling import (
-    VALID_LOCAL_BATCHES,
-    BubbleFiller,
-    FillShapeCache,
-    reset_prefix_cache,
-)
-from .lru import lru_get, lru_put
+from .filling import VALID_LOCAL_BATCHES, BubbleFiller, FillShapeCache
 from .partition import PartitionContext, partition_backbone
 from .partition_cdm import CDMPartitionContext, partition_cdm
 from .plan import ExecutionPlan, FillReport, PartitionPlan, StageAssignment
+
+__all__ = [
+    "PlannerOptions",
+    "EvaluatedConfig",
+    "PlannerCaches",
+    "CacheStats",
+    "FillShapeCache",
+    "default_caches",
+    "DiffusionPipePlanner",
+]
 
 
 @dataclass(frozen=True)
@@ -99,89 +103,6 @@ class EvaluatedConfig:
     timeline_sc: Timeline | None = None
 
 
-@dataclass
-class PlannerCaches:
-    """Shared memoisation store for planner sweeps.
-
-    One instance may be shared by several planners (e.g. DiffusionPipe +
-    SPP in a throughput sweep, or the Fig. 15 ablation variants) as long
-    as they evaluate the *same model*: cache keys include the full
-    :class:`ClusterSpec` (a frozen value type) and a weak reference to
-    the :class:`ProfileDB`, so planners on different topologies or
-    re-profiled models never alias each other's entries (and retired
-    profiles are not pinned by the cache).
-
-    ``partition`` maps (profile, cluster, batch_per_group, D, S, M, ...)
-    to the partitioner's output (or the PartitionError it raised);
-    ``comm`` memoises the per-(D, r) communication constants; ``evals``
-    memoises simulate-and-fill outcomes, with the filling-relevant
-    :class:`PlannerOptions` knobs in the key so planners with different
-    filling ablations never alias each other's entries.  ``partition``
-    and ``evals`` are bounded LRUs (``_PARTITION_CACHE_MAX`` /
-    ``_EVAL_CACHE_MAX``): re-profiling strands their weak-keyed entries,
-    and ``evals`` values pin :class:`Timeline` objects, so an unbounded
-    store in a long-lived service would grow forever.  ``comm`` stays a
-    plain dict — its keys are (cluster, small ints) and its values two
-    floats, bounded by the topologies actually used.
-    """
-
-    partition: "OrderedDict[tuple, object]" = field(default_factory=OrderedDict)
-    comm: dict = field(default_factory=dict)
-    evals: "OrderedDict[tuple, tuple]" = field(default_factory=OrderedDict)
-    #: lookahead shape cache: expansion tables, beam prefixes and final
-    #: plans keyed by (context identity, timeline shape), so the
-    #: (S, M, D) sweep pays one cold search per distinct shape.  All
-    #: three inner stores are bounded LRUs; keys hold only weak profile
-    #: references (see :class:`~repro.core.filling.FillShapeCache`).
-    fills: FillShapeCache = field(default_factory=FillShapeCache)
-
-    def clear(self, profiles: Sequence[ProfileDB] = ()) -> None:
-        """Epoch reset for long-lived services.
-
-        Empties this store's memos and — for each profile passed —
-        wholesale-clears the float-keyed interpolation caches that have
-        no per-hit LRU bookkeeping (``ProfileDB._stage_cache``, each
-        ``LayerProfile``'s forward/backward memos, and the filling
-        prefix-time cache).  Everything is recomputed identically on
-        the next query, so a periodic ``clear`` bounds a service
-        sweeping unbounded distinct batch values without slowing the
-        hot interpolation path."""
-        self.partition.clear()
-        self.comm.clear()
-        self.evals.clear()
-        self.fills.clear()
-        for profile in profiles:
-            profile.reset_caches()
-            reset_prefix_cache(profile)
-
-
-#: global memo of simulated pipeline timelines.  The key captures every
-#: input of the task-graph build (stage execs, micro-batch count,
-#: self-conditioning flag, feedback time, device weights), so identical
-#: configurations reached from different planners/batches share one
-#: simulation.  Bounded LRU (move-to-end on hit, evict oldest) so
-#: long-lived planner services keep their hot timelines instead of
-#: dropping all entries wholesale when the cap is reached.
-_TIMELINE_CACHE: "OrderedDict[tuple, Timeline]" = OrderedDict()
-_TIMELINE_CACHE_MAX = 8192
-
-#: cap on each PlannerCaches' simulate-and-fill memo (LRU, like the
-#: timeline cache: results pin Timeline/FillReport objects).
-_EVAL_CACHE_MAX = 4096
-
-#: cap on each PlannerCaches' partition memo (LRU; entries are small
-#: PartitionPlans but re-profiling strands their weak-keyed entries).
-_PARTITION_CACHE_MAX = 16384
-
-
-def _get_timeline(key: tuple) -> Timeline | None:
-    return lru_get(_TIMELINE_CACHE, key)
-
-
-def _cache_timeline(key: tuple, timeline: Timeline) -> None:
-    lru_put(_TIMELINE_CACHE, key, timeline, _TIMELINE_CACHE_MAX)
-
-
 class DiffusionPipePlanner:
     """Front-end entry point.
 
@@ -194,6 +115,13 @@ class DiffusionPipePlanner:
         omitted (Fig. 7 step 1).
     options:
         Search and ablation knobs.
+    caches:
+        The :class:`PlannerCaches` this planner reads and writes.  When
+        ``None`` the process-wide :func:`default_caches` instance is
+        used, so independent planners share warm DP tables, prefix
+        arrays and timelines exactly as the old module-level caches
+        provided; pass an explicit instance for full isolation (tests,
+        services with per-tenant stores).
     """
 
     def __init__(
@@ -209,7 +137,7 @@ class DiffusionPipePlanner:
         self.profile = profile or Profiler(cluster).profile(model)
         self.options = options or PlannerOptions()
         self.collectives = CollectiveModel(cluster)
-        self.caches = caches if caches is not None else PlannerCaches()
+        self.caches = caches if caches is not None else default_caches()
         if len(model.backbone_names) > 2:
             raise ConfigurationError(
                 "the planner handles one or two backbones; group larger "
@@ -273,7 +201,7 @@ class DiffusionPipePlanner:
         if costs is None:
             link = self.cluster.group_link(list(range(group_size)))
             costs = CommCosts(bandwidth=link.bandwidth, latency=link.latency)
-            self.caches.comm[key] = costs
+            self.caches.comm.put(key, costs)
         return costs
 
     def _allreduce_costs(self, group_size: int, stage_replicas: int) -> CommCosts:
@@ -293,7 +221,7 @@ class DiffusionPipePlanner:
                 for j in range(stage_replicas)
             ]
             costs = self.collectives.allreduce_costs(ranks)
-            self.caches.comm[key] = costs
+            self.caches.comm.put(key, costs)
         return costs
 
     # -- evaluation of one configuration ----------------------------------------------
@@ -438,7 +366,7 @@ class DiffusionPipePlanner:
             self.options.cdm_cut_step,
         )
         partitions = self.caches.partition
-        hit = lru_get(partitions, key)
+        hit = partitions.get(key)
         if hit is not None:
             if isinstance(hit, PartitionError):
                 # Raise a fresh instance: re-raising the cached one would
@@ -452,9 +380,9 @@ class DiffusionPipePlanner:
             # Store a stripped copy: caching the live exception would pin
             # its __traceback__ (and every frame's locals) for the
             # cache's lifetime.
-            lru_put(partitions, key, PartitionError(*err.args), _PARTITION_CACHE_MAX)
+            partitions.put(key, PartitionError(*err.args))
             raise
-        lru_put(partitions, key, plan, _PARTITION_CACHE_MAX)
+        partitions.put(key, plan)
         return plan
 
     def _partition_uncached(
@@ -490,7 +418,11 @@ class DiffusionPipePlanner:
                 allreduce_key=ar_key,
             )
             return partition_backbone(
-                ctx, S, D, heterogeneous=self.options.heterogeneous_replication
+                ctx,
+                S,
+                D,
+                heterogeneous=self.options.heterogeneous_replication,
+                caches=self.caches,
             )
         ctx_down = PartitionContext(
             profile=self.profile,
@@ -509,6 +441,7 @@ class DiffusionPipePlanner:
             D,
             cut_step=self.options.cdm_cut_step,
             heterogeneous=self.options.heterogeneous_replication,
+            caches=self.caches,
         )
 
     def _stage_execs(
@@ -622,13 +555,13 @@ class DiffusionPipePlanner:
             opts.partial_batch_menu,
         )
         evals = self.caches.evals
-        hit = lru_get(evals, eval_key)
+        hit = evals.get(eval_key)
         if hit is not None:
             return hit
         result = self._simulate_and_fill_uncached(
             partition, batch_per_group, sc=sc, nt_total=nt_total
         )
-        lru_put(evals, eval_key, result, _EVAL_CACHE_MAX)
+        evals.put(eval_key, result)
         return result
 
     def _simulate_and_fill_uncached(
@@ -663,11 +596,11 @@ class DiffusionPipePlanner:
             # counts) are part of the key, alongside the two-sided
             # device weights.
             tl_key = ("bi", tuple(down), tuple(up), M, S, tuple(sorted(weights.items())))
-            timeline = _get_timeline(tl_key)
+            timeline = self.caches.timelines.get(tl_key)
             if timeline is None:
                 tasks = build_bidirectional(down, up, M, M)
                 timeline = simulate(tasks, S, weights)
-                _cache_timeline(tl_key, timeline)
+                self.caches.timelines.put(tl_key, timeline)
         else:
             weights = {i: partition.down[i].replicas for i in range(S)}
             stages = self._stage_execs(partition.down, micro, sc=sc, group_size=D)
@@ -685,13 +618,13 @@ class DiffusionPipePlanner:
                 S,
                 tuple(sorted(weights.items())),
             )
-            timeline = _get_timeline(tl_key)
+            timeline = self.caches.timelines.get(tl_key)
             if timeline is None:
                 tasks = build_1f1b(
                     stages, M, self_conditioning=sc, feedback_ms=feedback
                 )
                 timeline = simulate(tasks, S, weights)
-                _cache_timeline(tl_key, timeline)
+                self.caches.timelines.put(tl_key, timeline)
 
         fill: FillReport | None = None
         bubbles = None
@@ -710,6 +643,7 @@ class DiffusionPipePlanner:
                 strategy=self.options.fill_strategy,
                 lookahead_beam=self.options.lookahead_beam,
                 fill_cache=self.caches.fills,
+                caches=self.caches,
             )
             fill = filler.fill(bubbles, leftover_devices=partition.group_size)
 

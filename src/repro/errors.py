@@ -57,3 +57,12 @@ class OutOfMemory(MemoryError_):
 
 class EngineError(ReproError):
     """The numeric execution engine hit an invalid instruction stream."""
+
+
+class SnapshotError(ReproError):
+    """A planner-cache snapshot could not be written or restored
+    (unknown format version, corrupt payload, wrong magic)."""
+
+
+class ServiceError(ReproError):
+    """The planner service rejected or failed a request."""

@@ -263,7 +263,7 @@ def ablation_throughputs(
             base, fill_strategy=strategy
         )
     # The variants differ only in filling options, so they share every
-    # partition (and, via the planner's global timeline memo, every
+    # partition (and, via the shared ``caches.timelines`` memo, every
     # simulated schedule).
     caches = PlannerCaches()
     out: dict[str, dict[int, float]] = {}

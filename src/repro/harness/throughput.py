@@ -90,6 +90,7 @@ class ThroughputSweep:
         planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
         heterogeneous: bool = False,
         fill_strategy: str | None = None,
+        caches: PlannerCaches | None = None,
     ):
         self.model = model_factory()
         self.machine_counts = tuple(machine_counts)
@@ -113,8 +114,10 @@ class ThroughputSweep:
         # One memo store for the whole sweep: at each scale the planner
         # and the SPP baseline reuse each other's partitions and comm
         # costs (cache keys include the full ClusterSpec, so entries
-        # from different scales never alias).
-        self.caches = PlannerCaches()
+        # from different scales never alias).  Callers may pass a shared
+        # ``caches`` (e.g. a snapshot-warmed one) to reuse work across
+        # sweeps.
+        self.caches = caches if caches is not None else PlannerCaches()
 
     def _cluster(self, machines: int) -> ClusterSpec:
         return p4de_cluster(machines)
@@ -173,6 +176,7 @@ class CDMThroughputSweep:
         planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
         heterogeneous: bool = False,
         fill_strategy: str | None = None,
+        caches: PlannerCaches | None = None,
     ):
         self.model = model_factory()
         self.machine_counts = tuple(machine_counts)
@@ -192,7 +196,7 @@ class CDMThroughputSweep:
             )
         self.planner_options = planner_options
         self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
-        self.caches = PlannerCaches()
+        self.caches = caches if caches is not None else PlannerCaches()
 
     def run(self) -> list[SweepCell]:
         cells: list[SweepCell] = []

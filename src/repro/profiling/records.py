@@ -11,6 +11,7 @@ layer execution time is near-affine in batch size on real accelerators
 from __future__ import annotations
 
 import bisect
+import hashlib
 from dataclasses import dataclass
 from typing import Iterable, Mapping, Sequence
 
@@ -170,6 +171,48 @@ class ProfileDB:
         self._stage_cache.clear()
         for profile in self._by_key.values():
             profile.reset_caches()
+
+    # -- identity --------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """Content hash of every measured field (structural model
+        signature + profile values).
+
+        Two DBs produced from identical measurements — e.g. the
+        deterministic :class:`~repro.profiling.Profiler` run twice, or
+        in two different processes — share a fingerprint, while any
+        change to a layer's timings, sizes, flags or position changes
+        it.  Cache snapshots (:meth:`repro.core.PlannerCaches.snapshot`)
+        re-key their weak profile references by this value, so a
+        snapshot survives re-profiling as long as the measurements
+        agree.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is not None:
+            return cached
+        h = hashlib.sha256()
+        for key in sorted(self._by_key):
+            p = self._by_key[key]
+            h.update(
+                repr(
+                    (
+                        p.component,
+                        p.layer_index,
+                        p.layer_name,
+                        p.batches,
+                        p.fwd_ms,
+                        p.bwd_ms,
+                        p.param_bytes,
+                        p.grad_bytes,
+                        p.output_bytes_per_sample,
+                        p.activation_bytes_per_sample,
+                        p.trainable,
+                    )
+                ).encode()
+            )
+        digest = h.hexdigest()
+        self._fingerprint = digest
+        return digest
 
     # -- lookups -------------------------------------------------------------
 

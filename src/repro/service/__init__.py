@@ -1,0 +1,20 @@
+"""Planner-as-a-service front-end.
+
+:class:`PlanService` wraps the DiffusionPipe planner behind a
+concurrent request API: identical in-flight configurations are
+coalesced onto one evaluation, completed plans are served from a
+bounded result store, and evaluations fan out to either a thread pool
+sharing one :class:`~repro.core.PlannerCaches` or a process pool whose
+workers are seeded from a warm cache snapshot and report their cache
+telemetry back.
+
+:mod:`repro.service.server` exposes the service over a JSON-lines TCP
+socket (``repro serve``); :mod:`repro.service.bench` drives a request
+stream against cold and snapshot-warmed services (``repro
+bench-serve``); :mod:`repro.service.smoke` is the self-contained CI
+smoke test.
+"""
+
+from .planservice import PlanRequest, PlanResponse, PlanService
+
+__all__ = ["PlanRequest", "PlanResponse", "PlanService"]

@@ -1,0 +1,132 @@
+"""Warm-vs-cold service latency harness (``repro bench-serve``).
+
+Drives the same request stream twice:
+
+1. against a **cold** service (fresh :class:`PlannerCaches`), then
+   snapshots the warmed caches;
+2. against a **warm** service whose caches are seeded from that
+   snapshot in a fresh :class:`PlannerCaches` — the same path a
+   process-pool worker takes at startup.
+
+Both passes re-profile the model, so the reported speedup isolates
+what the snapshot actually carries: the DP tables, prefix arrays,
+fill shapes and timelines.  The two response streams must be
+identical; the report includes per-pass wall time, per-request
+latency quantiles and the cache hit counters.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+import time
+from typing import Sequence
+
+from .planservice import PlanRequest, PlanService
+
+
+def _drive(service: PlanService, reqs: Sequence[PlanRequest]):
+    t0 = time.perf_counter()
+    responses = service.sweep(list(reqs))
+    wall = time.perf_counter() - t0
+    return responses, wall
+
+
+def run_bench(
+    *,
+    model: str = "sd",
+    gpus: int = 8,
+    batches: Sequence[int] = (64, 128, 256),
+    repeats: int = 2,
+    snapshot_path: str | None = None,
+    workers: int = 0,
+) -> dict:
+    """Run the cold and warm passes; returns the report dict.
+
+    ``repeats > 1`` repeats the batch list, so the cold pass itself
+    exercises the in-process coalescing/result store while the warm
+    pass measures the snapshot.
+    """
+    reqs = [
+        PlanRequest(model=model, gpus=gpus, batch=b)
+        for _ in range(repeats)
+        for b in batches
+    ]
+    cleanup = snapshot_path is None
+    if snapshot_path is None:
+        fd, snapshot_path = tempfile.mkstemp(suffix=".repro-caches")
+        os.close(fd)
+    try:
+        with PlanService(workers=workers) as cold:
+            cold_resp, cold_s = _drive(cold, reqs)
+            written = cold.snapshot(snapshot_path)
+            cold_metrics = cold.metrics()
+        with PlanService(workers=workers, snapshot=snapshot_path) as warm:
+            warm_resp, warm_s = _drive(warm, reqs)
+            warm_metrics = warm.metrics()
+    finally:
+        if cleanup:
+            os.unlink(snapshot_path)
+    identical = [r.as_dict() for r in cold_resp] == [
+        r.as_dict() for r in warm_resp
+    ]
+    return {
+        "model": model,
+        "gpus": gpus,
+        "requests": len(reqs),
+        "identical_responses": identical,
+        "snapshot_entries": written,
+        "cold": {"wall_s": cold_s, "latency_s": cold_metrics["latency_s"]},
+        "warm": {"wall_s": warm_s, "latency_s": warm_metrics["latency_s"]},
+        "speedup": cold_s / warm_s if warm_s > 0 else float("inf"),
+        "warm_cache": {
+            name: store
+            for name, store in warm_metrics["cache"]["stores"].items()
+            if store["hits"]
+        },
+    }
+
+
+def format_report(report: dict) -> str:
+    lines = [
+        f"{report['model']} on {report['gpus']} GPUs, "
+        f"{report['requests']} requests",
+        f"cold: {report['cold']['wall_s']:.2f}s  "
+        f"warm: {report['warm']['wall_s']:.2f}s  "
+        f"speedup: {report['speedup']:.1f}x",
+        f"responses identical: {report['identical_responses']}",
+        "warm stores with hits: "
+        + (", ".join(sorted(report["warm_cache"])) or "(none)"),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    import argparse
+
+    parser = argparse.ArgumentParser(prog="repro bench-serve")
+    parser.add_argument("--model", default="sd")
+    parser.add_argument("--gpus", type=int, default=8)
+    parser.add_argument("--batches", type=int, nargs="+",
+                        default=[64, 128, 256])
+    parser.add_argument("--repeats", type=int, default=2)
+    parser.add_argument("--workers", type=int, default=0)
+    parser.add_argument("--snapshot", help="keep the snapshot file here")
+    parser.add_argument("--json", action="store_true",
+                        help="print the full report as JSON")
+    args = parser.parse_args(argv)
+    report = run_bench(
+        model=args.model,
+        gpus=args.gpus,
+        batches=tuple(args.batches),
+        repeats=args.repeats,
+        snapshot_path=args.snapshot,
+        workers=args.workers,
+    )
+    print(json.dumps(report, indent=2) if args.json else format_report(report))
+    return 0 if report["identical_responses"] else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

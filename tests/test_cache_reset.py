@@ -9,7 +9,6 @@ is the cheap generation reset that keeps them bounded.
 """
 
 from repro.core import BubbleFiller, PlannerCaches
-from repro.core.filling import _PREFIX_CACHE
 from repro.core.bubbles import Bubble
 from tests.conftest import make_synthetic_db
 
@@ -65,16 +64,18 @@ def test_planner_caches_clear_also_drops_prefix_cache():
 
     model = uniform_model()
     profile = Profiler(single_node(8)).profile(model)
-    filler = BubbleFiller(profile, model, batch=64)
+    caches = PlannerCaches()
+    filler = BubbleFiller(profile, model, batch=64, caches=caches)
     filler.fill(
         [Bubble(start=0.0, end=25.0, devices=(0,), weight=1)],
         leftover_devices=2,
     )
-    assert len(_PREFIX_CACHE.get(profile, {})) > 0
-    caches = PlannerCaches()
-    caches.evals[("k",)] = ("v",)
-    caches.partition[("k",)] = "v"
-    caches.comm["k"] = "v"
+    assert caches.prefixes.entry_count(profile) > 0
+    caches.evals.put(("k",), ("v",))
+    caches.partition.put(("k",), "v")
+    caches.comm.put("k", "v")
     caches.clear([profile])
-    assert profile not in _PREFIX_CACHE
-    assert not caches.evals and not caches.partition and not caches.comm
+    assert caches.prefixes.entry_count(profile) == 0
+    assert not len(caches.evals)
+    assert not len(caches.partition)
+    assert not len(caches.comm)

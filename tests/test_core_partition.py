@@ -180,27 +180,35 @@ def test_heterogeneous_cache_is_micro_batch_keyed():
     """The DP table key uses the micro-batch *size*, not (batch, M):
     sweeps with the same ratio share one table, and M only enters the
     final objective selection."""
-    from repro.core.partition import _HET_CACHE
+    from repro.core import PlannerCaches
 
     db = make_synthetic_db()
-    partition_backbone(_ctx(db, batch=64, M=4), 2, 3, heterogeneous=True)
-    n_tables = len(_HET_CACHE[db])
+    caches = PlannerCaches()
+    partition_backbone(
+        _ctx(db, batch=64, M=4), 2, 3, heterogeneous=True, caches=caches
+    )
+    n_tables = caches.het.entry_count(db)
     # Same micro-batch size (32/2 == 64/4): table is reused.
-    partition_backbone(_ctx(db, batch=32, M=2), 2, 3, heterogeneous=True)
-    assert len(_HET_CACHE[db]) == n_tables
+    partition_backbone(
+        _ctx(db, batch=32, M=2), 2, 3, heterogeneous=True, caches=caches
+    )
+    assert caches.het.entry_count(db) == n_tables
     # Different micro-batch size: a new table.
-    partition_backbone(_ctx(db, batch=64, M=2), 2, 3, heterogeneous=True)
-    assert len(_HET_CACHE[db]) == n_tables + 1
+    partition_backbone(
+        _ctx(db, batch=64, M=2), 2, 3, heterogeneous=True, caches=caches
+    )
+    assert caches.het.entry_count(db) == n_tables + 1
 
 
 def test_heterogeneous_dp_prunes_dead_states():
     """The last DP stage only materialises full-chain prefixes, and no
     state exceeds the device budget or starves a remaining stage."""
+    from repro.core import PlannerCaches
     from repro.core.partition import _het_frontiers
 
     ctx = _ctx()
     S, D, L = 3, 5, 8
-    history, _ = _het_frontiers(ctx, L, S, D)
+    history, _ = _het_frontiers(ctx, L, S, D, PlannerCaches())
     for s in range(1, S + 1):
         for state in history[s]:
             l, d = state[0], state[1]
@@ -333,9 +341,10 @@ def test_per_replica_sync_model_resolved_in_stage_costs():
 def test_het_cache_keyed_by_sync_model():
     """Two contexts differing only in their sync resolver constants
     must not share a heterogeneous DP table."""
-    from repro.core.partition import _HET_CACHE
+    from repro.core import PlannerCaches
 
     db = make_synthetic_db()
+    caches = PlannerCaches()
 
     def ctx_with(key, scale):
         return PartitionContext(
@@ -347,14 +356,20 @@ def test_het_cache_keyed_by_sync_model():
             allreduce_key=key,
         )
 
-    partition_backbone(ctx_with(("a", 1e9), 1e9), 2, 3, heterogeneous=True)
-    n = len(_HET_CACHE[db])
+    partition_backbone(
+        ctx_with(("a", 1e9), 1e9), 2, 3, heterogeneous=True, caches=caches
+    )
+    n = caches.het.entry_count(db)
     # Same constants: memo hit, no new table.
-    partition_backbone(ctx_with(("a", 1e9), 1e9), 2, 3, heterogeneous=True)
-    assert len(_HET_CACHE[db]) == n
+    partition_backbone(
+        ctx_with(("a", 1e9), 1e9), 2, 3, heterogeneous=True, caches=caches
+    )
+    assert caches.het.entry_count(db) == n
     # Different resolver constants: a new table.
-    partition_backbone(ctx_with(("a", 5e8), 5e8), 2, 3, heterogeneous=True)
-    assert len(_HET_CACHE[db]) == n + 1
+    partition_backbone(
+        ctx_with(("a", 5e8), 5e8), 2, 3, heterogeneous=True, caches=caches
+    )
+    assert caches.het.entry_count(db) == n + 1
 
 
 def test_stage_costs_validation():

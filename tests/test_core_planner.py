@@ -294,25 +294,26 @@ def test_eval_cache_shared_across_planners(cluster8, uniform, uniform_profile):
     assert len(caches.evals) > n
 
 
-def test_timeline_cache_lru(monkeypatch):
-    """The global timeline memo is a bounded LRU: hits move entries to
-    the back, inserts at capacity evict the least recently used."""
-    from collections import OrderedDict
+def test_timeline_cache_lru():
+    """The timeline memo is a bounded LRU: hits move entries to the
+    back, inserts at capacity evict the least recently used, and the
+    store counts hits/misses/evictions."""
+    from repro.core import PlannerCaches
 
-    from repro.core import planner as planner_mod
-
-    monkeypatch.setattr(planner_mod, "_TIMELINE_CACHE", OrderedDict())
-    monkeypatch.setattr(planner_mod, "_TIMELINE_CACHE_MAX", 3)
+    caches = PlannerCaches(timeline_max=3)
+    timelines = caches.timelines
     for i in range(3):
-        planner_mod._cache_timeline(("k", i), f"tl{i}")
+        timelines.put(("k", i), f"tl{i}")
     # Touch the oldest entry: it becomes most-recently-used.
-    assert planner_mod._get_timeline(("k", 0)) == "tl0"
-    planner_mod._cache_timeline(("k", 3), "tl3")
+    assert timelines.get(("k", 0)) == "tl0"
+    timelines.put(("k", 3), "tl3")
     # ("k", 1) was the LRU entry and is the only one evicted.
-    assert planner_mod._get_timeline(("k", 1)) is None
-    assert planner_mod._get_timeline(("k", 0)) == "tl0"
-    assert planner_mod._get_timeline(("k", 2)) == "tl2"
-    assert planner_mod._get_timeline(("k", 3)) == "tl3"
+    assert timelines.get(("k", 1)) is None
+    assert timelines.get(("k", 0)) == "tl0"
+    assert timelines.get(("k", 2)) == "tl2"
+    assert timelines.get(("k", 3)) == "tl3"
     # Re-inserting an existing key refreshes it without evicting.
-    planner_mod._cache_timeline(("k", 0), "tl0")
-    assert len(planner_mod._TIMELINE_CACHE) == 3
+    timelines.put(("k", 0), "tl0")
+    assert len(timelines) == 3
+    stats = timelines.stats()
+    assert stats.hits == 4 and stats.misses == 1 and stats.evictions == 1

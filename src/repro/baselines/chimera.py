@@ -22,7 +22,7 @@ from ..cluster.topology import ClusterSpec
 from ..errors import ConfigurationError
 from ..models.graph import ModelSpec
 from ..profiling.records import ProfileDB
-from ..schedule.bidirectional import build_bidirectional
+from ..schedule import get_family
 from ..schedule.simulator import simulate
 from ..schedule.stages import StageExec
 from ..core.partition import PartitionContext, partition_backbone
@@ -159,7 +159,7 @@ class ChimeraBaseline:
 
         execs_down = self._stage_execs(partition.down, micro)
         execs_up = self._stage_execs(partition.down, micro)
-        tasks = build_bidirectional(execs_down, execs_up, M, M)
+        tasks = get_family("bidirectional").build(execs_down, M, up=execs_up)
         tl = simulate(tasks, S, {i: partition.down[i].replicas for i in range(S)})
         nt = self.nt_serial_ms(batch_per_group)
         iteration = tl.makespan + nt
@@ -186,7 +186,7 @@ class ChimeraBaseline:
         partition = self._partition(batch_per_group)
         micro = batch_per_group / (2 * M)
         execs = self._stage_execs(partition.down, micro)
-        tasks = build_bidirectional(execs, execs, M, M)
+        tasks = get_family("bidirectional").build(execs, M, up=execs)
         tl = simulate(tasks, S, {i: partition.down[i].replicas for i in range(S)})
         nt = self.nt_serial_ms(batch_per_group)
         return tl.bubble_device_time() / (

@@ -17,7 +17,7 @@ from ..cluster.topology import ClusterSpec
 from ..errors import ConfigurationError
 from ..models.graph import ModelSpec
 from ..profiling.records import ProfileDB
-from ..schedule.gpipe import build_gpipe
+from ..schedule import get_family
 from ..schedule.simulator import simulate
 from ..schedule.stages import StageExec
 from ..schedule.timeline import Timeline
@@ -128,7 +128,9 @@ class GPipeBaseline:
             nbytes = self.profile.boundary_bytes(backbone, last.hi - 1, micro)
             link = self.cluster.group_link(list(range(S)))
             feedback = nbytes / link.bandwidth + link.latency
-        tasks = build_gpipe(
+        # The registered ``gpipe`` family is the same builder the planner
+        # uses — the baseline and the planner cannot drift apart.
+        tasks = get_family("gpipe").build(
             execs, M, self_conditioning=sc, feedback_ms=feedback
         )
         return simulate(tasks, S)

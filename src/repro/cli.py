@@ -43,6 +43,7 @@ from .errors import ReproError
 from .harness import format_table, pct
 from .models import zoo
 from .profiling import Profiler
+from .schedule import schedule_family_names
 
 MODELS: dict[str, Callable] = {
     "sd": zoo.stable_diffusion_v2_1,
@@ -123,19 +124,23 @@ def cmd_plan(args: argparse.Namespace) -> int:
     model = _build_model(args.model, args.self_conditioning)
     cluster = _build_cluster(args.gpus)
     profile = Profiler(cluster).profile(model)
-    planner = DiffusionPipePlanner(
-        model,
-        cluster,
-        profile,
-        options=PlannerOptions(
-            group_sizes=_group_sizes(cluster),
-            keep_timeline=True,
-            heterogeneous_replication=args.heterogeneous,
-            fill_strategy=args.fill_strategy,
-            lookahead_beam=args.lookahead_beam,
-        ),
-    )
     try:
+        # Construction validates option combinations too (e.g. an
+        # explicit --schedule that mismatches the model's backbone
+        # count, or a chunked schedule with --heterogeneous).
+        planner = DiffusionPipePlanner(
+            model,
+            cluster,
+            profile,
+            options=PlannerOptions(
+                group_sizes=_group_sizes(cluster),
+                keep_timeline=True,
+                heterogeneous_replication=args.heterogeneous,
+                fill_strategy=args.fill_strategy,
+                lookahead_beam=args.lookahead_beam,
+                schedule=args.schedule,
+            ),
+        )
         ev = planner.plan(args.batch)
     except ReproError as exc:
         print(f"planning failed: {exc}", file=sys.stderr)
@@ -143,6 +148,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
     plan = ev.plan
     rows = [
         ["configuration", plan.config_label],
+        ["schedule", plan.schedule],
         ["iteration", f"{plan.iteration_ms:.1f} ms"],
         ["throughput", f"{plan.throughput:.1f} samples/s"],
         ["bubble ratio", f"{pct(plan.bubble_ratio_unfilled)} -> "
@@ -194,8 +200,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         heterogeneous_replication=args.heterogeneous,
         fill_strategy=args.fill_strategy,
         lookahead_beam=args.lookahead_beam,
+        schedule=args.schedule,
     )
-    planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
+    try:
+        planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
+    except ReproError as exc:
+        print(f"planning failed: {exc}", file=sys.stderr)
+        return 1
     engines = []
     if len(model.backbone_names) == 1:
         engines = [
@@ -345,6 +356,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="beam-width cap of the lookahead fill strategies; "
                         "lookahead runs narrower by default and widens up "
                         "to this at decision points")
+    p.add_argument("--schedule", default="auto",
+                   choices=("auto",) + schedule_family_names(),
+                   help="pipeline schedule family; auto picks onef1b for "
+                        "single-backbone models and bidirectional for "
+                        "cascaded ones")
     p.add_argument("--out", help="write the plan JSON here")
     p.add_argument("--trace", help="write a chrome trace here")
     p.set_defaults(func=cmd_plan)
@@ -369,6 +385,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="beam-width cap of the lookahead fill strategies; "
                         "lookahead runs narrower by default and widens up "
                         "to this at decision points")
+    p.add_argument("--schedule", default="auto",
+                   choices=("auto",) + schedule_family_names(),
+                   help="pipeline schedule family; auto picks onef1b for "
+                        "single-backbone models and bidirectional for "
+                        "cascaded ones")
     p.set_defaults(func=cmd_sweep)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(func=cmd_table1)

@@ -985,6 +985,10 @@ class LookaheadFill:
                 # candidate cap.
                 filler.max_candidates,
                 cap,
+                # Schedule family the bubbles came from: shapes can
+                # coincide across families, and keeping the identities
+                # apart makes hit statistics attributable per family.
+                filler.schedule,
             )
             ckey = (ident, beam_cap, narrow, leftover_devices, init)
             final = cache.finals.get((ckey, shape))

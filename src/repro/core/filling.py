@@ -427,6 +427,9 @@ class BubbleFiller:
         The :class:`PlannerCaches` owning the prefix-time store the
         strategies consult (``caches.prefixes``); the process-wide
         default instance when ``None``.
+    schedule:
+        Registry name of the schedule family whose bubbles are being
+        filled; joins the shape-cache context identity.
     """
 
     def __init__(
@@ -442,6 +445,7 @@ class BubbleFiller:
         lookahead_beam: int | None = None,
         fill_cache: "FillShapeCache | None" = None,
         caches: PlannerCaches | None = None,
+        schedule: str = "onef1b",
     ):
         if batch <= 0:
             raise FillingError("batch must be positive")
@@ -457,6 +461,10 @@ class BubbleFiller:
         self.strategy = strategy
         self.lookahead_beam = lookahead_beam
         self.fill_cache = fill_cache
+        #: schedule family the bubbles came from; part of the shared
+        #: shape-cache identity so fills found under one family's
+        #: bubble geometry are never replayed under another's
+        self.schedule = schedule
         self.states: dict[str, ComponentState] = {
             comp.name: ComponentState(
                 name=comp.name,

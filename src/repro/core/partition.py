@@ -58,6 +58,18 @@ class PartitionContext:
     identify the resolver's constants (a hashable value such as
     ``(cluster, D)``): DP memo keys use it in place of the callable,
     which is neither hashable nor comparable across planner instances.
+
+    ``pricing`` selects the per-stage bound the DP optimises.  The
+    ``"default"`` mode is Eqn. 1 as stated; ``"zerobubble"`` prices the
+    split-backward schedule family, where only the grad-input half (B)
+    of a backward sits on the warm-up/cool-down critical path while the
+    grad-weight half (W) slides into bubbles — the ramp coefficient
+    ``2S - 2`` then applies to ``max(fwd + B, comm)`` instead of the
+    full ``T0`` (the steady-state ``M`` stages still pay full F+B+W:
+    every device must execute W somewhere).  With self-conditioning the
+    zero-bubble refinement is skipped and default pricing applies — the
+    frontier's second coordinate carries ``T0^{SC}`` in that case, and
+    the full-backward bound remains a valid (looser) upper bound.
     """
 
     profile: ProfileDB
@@ -72,6 +84,7 @@ class PartitionContext:
         default=None, compare=False
     )
     allreduce_key: tuple | None = None
+    pricing: str = "default"
 
     def __post_init__(self) -> None:
         if self.allreduce_by_r is not None and self.allreduce_key is None:
@@ -79,6 +92,18 @@ class PartitionContext:
                 "allreduce_by_r needs an allreduce_key identifying its "
                 "constants for the DP memo keys"
             )
+        if self.pricing not in ("default", "zerobubble"):
+            raise ConfigurationError(
+                f"unknown partition pricing {self.pricing!r}; "
+                "expected 'default' or 'zerobubble'"
+            )
+
+    @property
+    def zb_pricing(self) -> bool:
+        """True when the DP prices the split-backward ramp (the
+        refinement is mutually exclusive with the self-conditioning
+        coordinate, which rides the same frontier slot)."""
+        return self.pricing == "zerobubble" and not self.self_conditioning
 
     @property
     def micro_batch(self) -> float:
@@ -122,13 +147,16 @@ class StageCosts:
         if b <= 0:
             raise ConfigurationError("local batch must be positive")
         self.local_batch = b
-        # Prefix sums over layers: fwd/bwd times, gradient bytes.
+        # Prefix sums over layers: fwd/bwd times, the grad-weight (W)
+        # share of each backward, gradient bytes.
         self._fwd = [0.0] * (n + 1)
         self._bwd = [0.0] * (n + 1)
+        self._bww = [0.0] * (n + 1)
         self._grad = [0.0] * (n + 1)
         for i in range(n):
             self._fwd[i + 1] = self._fwd[i] + prof.fwd_ms(comp, i, b)
             self._bwd[i + 1] = self._bwd[i] + prof.bwd_ms(comp, i, b)
+            self._bww[i + 1] = self._bww[i] + prof.bwd_w_ms(comp, i, b)
             self._grad[i + 1] = self._grad[i] + prof.layer(comp, i).grad_bytes
 
     # -- pieces ----------------------------------------------------------------
@@ -138,6 +166,14 @@ class StageCosts:
 
     def bwd(self, lo: int, hi: int) -> float:
         return self._bwd[hi] - self._bwd[lo]
+
+    def bwd_w(self, lo: int, hi: int) -> float:
+        """Grad-weight (W) share of the stage's backward."""
+        return self._bww[hi] - self._bww[lo]
+
+    def bwd_b(self, lo: int, hi: int) -> float:
+        """Grad-input (B) share: the part on the gradient chain."""
+        return max(0.0, self.bwd(lo, hi) - self.bwd_w(lo, hi))
 
     def grad_bytes(self, lo: int, hi: int) -> float:
         return self._grad[hi] - self._grad[lo]
@@ -169,6 +205,17 @@ class StageCosts:
         return max(
             2.0 * self.fwd(lo, hi) + self.bwd(lo, hi),
             self.boundary_comm_ms(lo, forwards=2),
+        )
+
+    def t0_ramp(self, lo: int, hi: int) -> float:
+        """Zero-bubble ramp bound: the warm-up/cool-down slots of the
+        split-backward schedule pay only forward + grad-input (B) time —
+        the grad-weight (W) work slides off the ramp into bubbles.  The
+        compensation term (Eqn. 5) is left unchanged: earlier layers'
+        B *and* W both still execute while a stage's sync runs, so
+        ``bwd(0, lo)`` remains a valid overlap lower bound."""
+        return max(
+            self.fwd(lo, hi) + self.bwd_b(lo, hi), self.boundary_comm_ms(lo)
         )
 
     def sync_ms(self, lo: int, hi: int) -> float:
@@ -325,8 +372,16 @@ def _expected_w(ctx: PartitionContext, w: float, w_sc: float) -> float:
 def _objective(
     ctx: PartitionContext, S: int, w: float, w_sc: float, y: float, tf: float
 ) -> float:
-    """Expected T_max over the self-conditioning coin flip (§4.3)."""
+    """Expected T_max over the self-conditioning coin flip (§4.3).
+
+    Under zero-bubble pricing the frontier's second coordinate carries
+    the ramp bound (``t0_ramp``) instead of ``T0^{SC}``: the steady
+    phase pays ``M`` full stage times, the ``2S - 2`` ramp slots only
+    forward + grad-input.
+    """
     M = ctx.num_micro_batches
+    if ctx.zb_pricing:
+        return M * w + (2 * S - 2) * w_sc + y
     coeff = M + 2 * S - 2
     vanilla = coeff * w + y
     if not ctx.self_conditioning:
@@ -371,6 +426,10 @@ def _chain_frontiers(
         # Eqn. 4 differently and must not share a table.
         ctx.allreduce_for(r),
         ctx.self_conditioning,
+        # Zero-bubble pricing repurposes the second frontier coordinate
+        # for the ramp bound, so its tables must not alias the default
+        # ones (all non-splitting families share "default" tables).
+        ctx.zb_pricing,
     )
     cached = caches.chains.get(ctx.profile, key)
     if cached is not None:
@@ -392,7 +451,15 @@ def _chain_frontiers(
                 if not parents:
                     continue
                 t0 = costs.t0(c, l)
-                t0_sc = costs.t0_sc(c, l) if ctx.self_conditioning else t0
+                if ctx.self_conditioning:
+                    t0_sc = costs.t0_sc(c, l)
+                elif ctx.zb_pricing:
+                    # The second coordinate carries the split-backward
+                    # ramp bound (see _objective); dominance over the
+                    # triple is still a monotone max-composition.
+                    t0_sc = costs.t0_ramp(c, l)
+                else:
+                    t0_sc = t0
                 gap = costs.sync_gap(c, l)
                 for pi, parent in enumerate(parents):
                     pw, pwsc, py = parent[0], parent[1], parent[2]
@@ -508,6 +575,9 @@ def _het_frontiers(
         # tuple, or the flat CommCosts pair when no resolver is set).
         ctx.sync_key,
         ctx.self_conditioning,
+        # See _chain_frontiers: zero-bubble tables carry the ramp bound
+        # in the second coordinate and must not alias default ones.
+        ctx.zb_pricing,
     )
     cached = caches.het.get(ctx.profile, key)
     if cached is not None:
@@ -553,9 +623,12 @@ def _het_frontiers(
                     if vals is None:
                         costs = costs_for(r)
                         t0 = costs.t0(pl, l)
-                        t0_sc = (
-                            costs.t0_sc(pl, l) if ctx.self_conditioning else t0
-                        )
+                        if ctx.self_conditioning:
+                            t0_sc = costs.t0_sc(pl, l)
+                        elif ctx.zb_pricing:
+                            t0_sc = costs.t0_ramp(pl, l)
+                        else:
+                            t0_sc = t0
                         gap = costs.sync_gap(pl, l)
                         vals = seg[seg_key] = (t0, t0_sc, gap)
                     t0, t0_sc, gap = vals

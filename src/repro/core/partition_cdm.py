@@ -280,6 +280,10 @@ def _cdm_frontiers(
         ctx.comm_scale,
         cut_step,
         max_frontier,
+        # The bidirectional family always prices with the default mode
+        # today, but the contexts carry the field, so the key does too.
+        ctx.down.pricing,
+        ctx.up.pricing,
     )
     if cacheable:
         cached = caches.cdm.get(ctx.down.profile, key)
@@ -332,6 +336,8 @@ def _cdm_het_frontiers(
         ctx.comm_scale,
         cut_step,
         max_frontier,
+        ctx.down.pricing,
+        ctx.up.pricing,
     )
     if cacheable:
         cached = caches.cdm_het.get(ctx.down.profile, key)

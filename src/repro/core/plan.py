@@ -169,6 +169,9 @@ class ExecutionPlan:
 
     model_name: str
     partition: PartitionPlan
+    #: registry name of the schedule family the plan was evaluated
+    #: under (see :mod:`repro.schedule.families`)
+    schedule: str
     data_parallel_degree: int
     global_batch: float
     pipeline_ms: float

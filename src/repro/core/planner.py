@@ -6,8 +6,11 @@ count ``M`` and pipeline-group size ``D`` (world = D x data-parallel
 degree) — and for each feasible combination:
 
 1. runs the dynamic-programming partitioner (§4) for the backbone(s);
-2. builds the FIFO-1F1B (or bidirectional, for cascaded models)
-   schedule and simulates it on the cluster model;
+2. builds the configured schedule family — FIFO-1F1B by default,
+   bidirectional for cascaded models, or any other registered
+   :class:`~repro.schedule.families.ScheduleFamily` (``gpipe``,
+   ``interleaved``, ``zerobubble``) via ``PlannerOptions.schedule`` —
+   and simulates it on the cluster model;
 3. extracts pipeline bubbles and fills them with the non-trainable
    part under cross-iteration pipelining (§5, §3.2);
 4. estimates the steady-state iteration time and checks device memory;
@@ -28,8 +31,7 @@ from ..errors import ConfigurationError, PartitionError
 from ..models.graph import ModelSpec
 from ..profiling.profiler import Profiler
 from ..profiling.records import ProfileDB
-from ..schedule.bidirectional import build_bidirectional
-from ..schedule.onef1b import build_1f1b
+from ..schedule import get_family, schedule_family_names
 from ..schedule.simulator import simulate
 from ..schedule.stages import StageExec
 from ..schedule.timeline import Timeline
@@ -67,6 +69,16 @@ class PlannerOptions:
     #: ``lookahead_reference`` — its unpruned oracle; ``none`` —
     #: extract bubbles but fill nothing)
     fill_strategy: str = "greedy"
+    #: registry name of the pipeline schedule family (see README
+    #: "Schedule families").  ``"auto"`` resolves per model: ``onef1b``
+    #: for single-backbone models, ``bidirectional`` for cascaded ones.
+    #: An explicit name that cannot serve the model (a single-backbone
+    #: family on a cascaded model, or vice versa) raises at planner
+    #: construction.
+    schedule: str = "auto"
+    #: chunks per device of the ``interleaved`` family (Megatron's
+    #: ``v``); ignored by every other family
+    virtual_stages: int = 2
     #: beam-width cap of the lookahead fill strategies; the production
     #: ``lookahead`` runs narrower by default and widens up to this at
     #: decision points (see README "Bubble filling")
@@ -92,6 +104,18 @@ class PlannerOptions:
             )
         if self.lookahead_beam < 1:
             raise ConfigurationError("lookahead_beam must be at least 1")
+        from ..schedule import SCHEDULE_FAMILIES
+
+        if self.schedule != "auto" and self.schedule not in SCHEDULE_FAMILIES:
+            raise ConfigurationError(
+                f"unknown schedule family {self.schedule!r}; "
+                f"registered: {('auto',) + schedule_family_names()}"
+            )
+        if self.virtual_stages < 2:
+            raise ConfigurationError(
+                "virtual_stages must be at least 2 (one chunk per device "
+                "is plain 1F1B — use schedule='onef1b')"
+            )
 
 
 @dataclass(frozen=True)
@@ -143,6 +167,36 @@ class DiffusionPipePlanner:
                 "the planner handles one or two backbones; group larger "
                 "cascades with repro.core.partition_cdm.group_backbones first"
             )
+        #: resolved schedule family name: ``options.schedule`` with
+        #: ``"auto"`` mapped per model shape.
+        self.schedule = self._resolve_schedule()
+        self._family = get_family(self.schedule)
+        if self._family.chunked and self.options.heterogeneous_replication:
+            raise ConfigurationError(
+                "the 'interleaved' family replicates every chunk of a "
+                "device identically; heterogeneous replication is not "
+                "supported with chunked schedules"
+            )
+
+    def _resolve_schedule(self) -> str:
+        name = self.options.schedule
+        cascaded = len(self.model.backbone_names) == 2
+        if name == "auto":
+            return "bidirectional" if cascaded else "onef1b"
+        family = get_family(name)
+        if family.cascaded and not cascaded:
+            raise ConfigurationError(
+                f"schedule family {name!r} pipelines two backbones; "
+                f"model {self.model.name!r} has one (use 'auto' or a "
+                "single-backbone family)"
+            )
+        if cascaded and not family.cascaded:
+            raise ConfigurationError(
+                f"schedule family {name!r} builds a single backbone; "
+                f"cascaded model {self.model.name!r} needs 'bidirectional' "
+                "(or 'auto')"
+            )
+        return name
 
     # -- search space -------------------------------------------------------------
 
@@ -262,6 +316,10 @@ class DiffusionPipePlanner:
                 self.model,
                 partition,
                 capacity_bytes=self.cluster.device_spec.memory_bytes,
+                schedule=self.schedule,
+                virtual_stages=(
+                    self.options.virtual_stages if self._family.chunked else 1
+                ),
             )
             if not memory.fits:
                 return None
@@ -306,6 +364,7 @@ class DiffusionPipePlanner:
         plan = ExecutionPlan(
             model_name=self.model.name,
             partition=partition,
+            schedule=self.schedule,
             data_parallel_degree=dp,
             global_batch=global_batch,
             pipeline_ms=pipeline_ms,
@@ -346,6 +405,22 @@ class DiffusionPipePlanner:
 
     # -- internals -----------------------------------------------------------------------
 
+    @property
+    def _partition_mode(self) -> tuple:
+        """Partition-relevant identity of the schedule family.
+
+        Families with identical partition semantics (onef1b, gpipe,
+        bidirectional; zerobubble under self-conditioning, where the
+        B/W pricing refinement is disabled) share partition cache
+        entries; only chunked granularity and zero-bubble pricing
+        change the DP's inputs.
+        """
+        if self._family.chunked:
+            return ("chunked", self.options.virtual_stages)
+        if self._family.splits_backward and not self.model.self_conditioning:
+            return ("zerobubble",)
+        return ("default",)
+
     def _partition(
         self, batch_per_group: float, D: int, S: int, M: int
     ) -> PartitionPlan:
@@ -364,6 +439,7 @@ class DiffusionPipePlanner:
             self.model.backbone_names,
             self.options.heterogeneous_replication,
             self.options.cdm_cut_step,
+            self._partition_mode,
         )
         partitions = self.caches.partition
         hit = partitions.get(key)
@@ -405,6 +481,7 @@ class DiffusionPipePlanner:
         ar = ar_by_r(max(D // S, 1))
         names = self.model.backbone_names
         if len(names) == 1:
+            mode = self._partition_mode
             ctx = PartitionContext(
                 profile=self.profile,
                 component=names[0],
@@ -416,7 +493,27 @@ class DiffusionPipePlanner:
                 self_conditioning_prob=self.model.self_conditioning_prob,
                 allreduce_by_r=ar_by_r,
                 allreduce_key=ar_key,
+                pricing="zerobubble" if mode[0] == "zerobubble" else "default",
             )
+            if self._family.chunked:
+                # Interleaved virtual stages partition at CHUNK
+                # granularity: the layer chain is cut into v*S
+                # consecutive chunks and chunk c lands on device
+                # c mod S, so each device hosts v non-contiguous
+                # chunks.  Running the DP with v*S stages on a virtual
+                # v*D budget keeps the homogeneous replica count at
+                # r = D/S per chunk while p2p and all-reduce constants
+                # stay priced from the real group (closures above).
+                # The DP's ramp coefficient then over-counts (2vS-2 vs
+                # the schedule's shorter per-chunk ramps), which only
+                # biases *which* cut it prefers — final throughput
+                # always comes from simulating the real chunk chain.
+                v = self.options.virtual_stages
+                plan = partition_backbone(
+                    ctx, S * v, D * v, heterogeneous=False,
+                    caches=self.caches,
+                )
+                return replace(plan, group_size=D)
             return partition_backbone(
                 ctx,
                 S,
@@ -474,11 +571,18 @@ class DiffusionPipePlanner:
             grad = prof.stage_grad_bytes(st.component, st.lo, st.hi)
             ar = self._allreduce_costs(group_size, st.replicas)
             sync = grad / ar.bandwidth + ar.latency if grad > 0 else 0.0
+            # B/W split carried on every exec (only the split-backward
+            # family reads it): W from the profile's measured/calibrated
+            # grad-weight share, B the exact remainder.
+            bwd_w = prof.stage_bwd_w_ms(st.component, st.lo, st.hi, local)
+            bwd_b = prof.stage_bwd_b_ms(st.component, st.lo, st.hi, local)
             execs.append(
                 StageExec(
                     index=i,
                     fwd_ms=fwd,
                     bwd_ms=bwd,
+                    bwd_b_ms=bwd_b,
+                    bwd_w_ms=bwd_w,
                     sc_fwd_ms=fwd if sc else None,
                     send_fwd_ms=send_fwd,
                     send_bwd_ms=send_bwd,
@@ -553,6 +657,9 @@ class DiffusionPipePlanner:
             opts.lookahead_beam,
             opts.min_bubble_ms,
             opts.partial_batch_menu,
+            # The schedule family the timeline is built under; the
+            # chunk granularity is already encoded in partition.down.
+            self.schedule,
         )
         evals = self.caches.evals
         hit = evals.get(eval_key)
@@ -576,6 +683,7 @@ class DiffusionPipePlanner:
         M = partition.num_micro_batches
         S = partition.num_stages
         D = partition.group_size
+        family = self._family
         if partition.is_bidirectional:
             # Chain position i hosts the down chain's stage i AND the up
             # chain's stage S-1-i on the same devices, so the simulator's
@@ -595,14 +703,30 @@ class DiffusionPipePlanner:
             # The up-chain stage execs (and therefore their replica
             # counts) are part of the key, alongside the two-sided
             # device weights.
-            tl_key = ("bi", tuple(down), tuple(up), M, S, tuple(sorted(weights.items())))
+            tl_key = (
+                self.schedule,
+                tuple(down),
+                tuple(up),
+                M,
+                S,
+                tuple(sorted(weights.items())),
+            )
             timeline = self.caches.timelines.get(tl_key)
             if timeline is None:
-                tasks = build_bidirectional(down, up, M, M)
+                tasks = family.build(down, M, up=up)
                 timeline = simulate(tasks, S, weights)
                 self.caches.timelines.put(tl_key, timeline)
         else:
-            weights = {i: partition.down[i].replicas for i in range(S)}
+            if family.chunked:
+                # partition.down is the chunk chain: v chunks per
+                # device-chain position, all replicating identically,
+                # so the simulator sees S/v physical positions.
+                positions = S // self.options.virtual_stages
+            else:
+                positions = S
+            weights = {
+                i: partition.down[i].replicas for i in range(positions)
+            }
             stages = self._stage_execs(partition.down, micro, sc=sc, group_size=D)
             feedback = (
                 self._feedback_ms(partition.down, micro, group_size=D)
@@ -610,7 +734,7 @@ class DiffusionPipePlanner:
                 else 0.0
             )
             tl_key = (
-                "1f1b",
+                self.schedule,
                 tuple(stages),
                 M,
                 sc,
@@ -620,10 +744,14 @@ class DiffusionPipePlanner:
             )
             timeline = self.caches.timelines.get(tl_key)
             if timeline is None:
-                tasks = build_1f1b(
-                    stages, M, self_conditioning=sc, feedback_ms=feedback
+                tasks = family.build(
+                    stages,
+                    M,
+                    num_devices=positions if family.chunked else None,
+                    self_conditioning=sc,
+                    feedback_ms=feedback,
                 )
-                timeline = simulate(tasks, S, weights)
+                timeline = simulate(tasks, positions, weights)
                 self.caches.timelines.put(tl_key, timeline)
 
         fill: FillReport | None = None
@@ -644,6 +772,7 @@ class DiffusionPipePlanner:
                 lookahead_beam=self.options.lookahead_beam,
                 fill_cache=self.caches.fills,
                 caches=self.caches,
+                schedule=self.schedule,
             )
             fill = filler.fill(bubbles, leftover_devices=partition.group_size)
 

@@ -32,6 +32,7 @@ _TRACE_COLOURS = {
     TaskKind.FORWARD: "good",
     TaskKind.SC_FORWARD: "vsync_highlight_color",
     TaskKind.BACKWARD: "bad",
+    TaskKind.BACKWARD_W: "terrible",
     TaskKind.NT_FORWARD: "yellow",
     TaskKind.SYNC: "grey",
     TaskKind.COMM: "white",
@@ -196,6 +197,7 @@ def plan_to_dict(plan: ExecutionPlan) -> dict:
         }
     return {
         "model_name": plan.model_name,
+        "schedule": plan.schedule,
         "partition": partition_to_dict(plan.partition),
         "data_parallel_degree": plan.data_parallel_degree,
         "global_batch": plan.global_batch,
@@ -257,6 +259,15 @@ def plan_from_dict(d: Mapping) -> ExecutionPlan:
         )
     return ExecutionPlan(
         model_name=str(d["model_name"]),
+        # Default keeps plans written before the schedule-family
+        # registry loadable: pre-registry plans were 1F1B for single
+        # backbones and bidirectional for cascaded ones.
+        schedule=str(
+            d.get(
+                "schedule",
+                "bidirectional" if d["partition"].get("up") else "onef1b",
+            )
+        ),
         partition=partition_from_dict(d["partition"]),
         data_parallel_degree=int(d["data_parallel_degree"]),
         global_batch=float(d["global_batch"]),

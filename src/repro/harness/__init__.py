@@ -2,8 +2,10 @@
 
 from .figures import (
     BubbleGridCell,
+    FamilyBubbleRow,
     LongLayerSeries,
     ablation_throughputs,
+    bubble_ratio_by_family,
     bubble_ratio_comparison,
     bubble_ratio_grid,
     longest_bubble_by_stages,
@@ -26,8 +28,10 @@ from .throughput import (
 
 __all__ = [
     "BubbleGridCell",
+    "FamilyBubbleRow",
     "LongLayerSeries",
     "ablation_throughputs",
+    "bubble_ratio_by_family",
     "bubble_ratio_comparison",
     "bubble_ratio_grid",
     "longest_bubble_by_stages",

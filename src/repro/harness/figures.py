@@ -14,7 +14,7 @@ from ..core.planner import DiffusionPipePlanner, PlannerCaches, PlannerOptions
 from ..errors import ConfigurationError
 from ..models.graph import ModelSpec
 from ..profiling.records import ProfileDB
-from ..schedule.onef1b import build_1f1b
+from ..schedule import get_family
 from ..schedule.simulator import simulate
 from ..baselines.gpipe import GPipeBaseline
 from ..baselines.spp import SPPBaseline
@@ -70,7 +70,7 @@ def bubble_ratio_grid(
                 partition.down, batch / M, sc=False,
                 group_size=partition.group_size,
             )
-            tasks = build_1f1b(stages, M)
+            tasks = get_family("onef1b").build(stages, M)
             tl = simulate(tasks, S)
             nt_dp = sum(
                 profile.component_fwd_ms(c.name, batch / S)
@@ -181,7 +181,7 @@ def longest_bubble_by_stages(
             partition.down, batch / num_micro, sc=False,
             group_size=partition.group_size,
         )
-        tl = simulate(build_1f1b(stages, num_micro), S)
+        tl = simulate(get_family("onef1b").build(stages, num_micro), S)
         longest = 0.0
         for dev in range(S):
             for span in tl.idle_spans(dev):
@@ -277,3 +277,78 @@ def ablation_throughputs(
             except ConfigurationError:
                 out[name][b] = 0.0
     return out
+
+
+# -- Schedule families: bubble ratio per family ----------------------------------------
+
+
+@dataclass(frozen=True)
+class FamilyBubbleRow:
+    """One schedule family's metrics at a fixed (D, S, M) point."""
+
+    family: str
+    bubble_ratio_unfilled: float
+    bubble_ratio_filled: float
+    fill_fraction: float
+    throughput: float
+    config_label: str
+
+
+def bubble_ratio_by_family(
+    model: ModelSpec,
+    cluster: ClusterSpec,
+    profile: ProfileDB,
+    *,
+    global_batch: int = 256,
+    group_size: int = 8,
+    num_stages: int = 4,
+    num_micro: int = 8,
+    families: Sequence[str] = (
+        "gpipe", "onef1b", "interleaved", "zerobubble",
+    ),
+    options: PlannerOptions | None = None,
+    caches: PlannerCaches | None = None,
+) -> list[FamilyBubbleRow]:
+    """Bubble ratio of each schedule family at one fixed configuration.
+
+    Evaluating every family at the *same* (D, S, M) point isolates the
+    schedule shape: best-throughput planning would let each family pick
+    a different configuration and muddy the comparison.  Bubble filling
+    runs with the caller's options (enabled by default), so the rows
+    show both the raw schedule bubbles (``bubble_ratio_unfilled``) and
+    what remains once the non-trainable part slides in.
+
+    Expected ordering on the paper's zoo: ``zerobubble`` (W work hides
+    the ramps) < ``interleaved`` (per-chunk ramps) < ``onef1b`` <
+    ``gpipe`` on the unfilled ratio.
+    """
+    base = options or PlannerOptions()
+    caches = caches if caches is not None else PlannerCaches()
+    rows = []
+    for fam in families:
+        planner = DiffusionPipePlanner(
+            model,
+            cluster,
+            profile,
+            options=replace(base, schedule=fam),
+            caches=caches,
+        )
+        ev = planner.evaluate(global_batch, group_size, num_stages, num_micro)
+        if ev is None:
+            raise ConfigurationError(
+                f"schedule family {fam!r} is infeasible at "
+                f"(D={group_size}, S={num_stages}, M={num_micro}) for "
+                f"{model.name!r} at batch {global_batch}"
+            )
+        plan = ev.plan
+        rows.append(
+            FamilyBubbleRow(
+                family=fam,
+                bubble_ratio_unfilled=plan.bubble_ratio_unfilled,
+                bubble_ratio_filled=plan.bubble_ratio_filled,
+                fill_fraction=plan.fill.fill_fraction if plan.fill else 0.0,
+                throughput=plan.throughput,
+                config_label=plan.config_label,
+            )
+        )
+    return rows

@@ -90,6 +90,7 @@ class ThroughputSweep:
         planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
         heterogeneous: bool = False,
         fill_strategy: str | None = None,
+        schedule: str | None = None,
         caches: PlannerCaches | None = None,
     ):
         self.model = model_factory()
@@ -98,8 +99,8 @@ class ThroughputSweep:
         # ``heterogeneous`` lets the planner (and SPP, which shares its
         # options) evaluate non-divisible (S, D) combos with per-stage
         # replica counts instead of skipping them; ``fill_strategy``
-        # swaps the bubble-filling policy (registry name) for the whole
-        # sweep.
+        # swaps the bubble-filling policy and ``schedule`` the pipeline
+        # schedule family (registry names) for the whole sweep.
         if heterogeneous:
             planner_options = replace(
                 planner_options, heterogeneous_replication=True
@@ -108,6 +109,8 @@ class ThroughputSweep:
             planner_options = replace(
                 planner_options, fill_strategy=fill_strategy
             )
+        if schedule is not None:
+            planner_options = replace(planner_options, schedule=schedule)
         self.planner_options = planner_options
         # Layer profiles depend only on the device model, not the scale.
         self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
@@ -176,6 +179,7 @@ class CDMThroughputSweep:
         planner_options: PlannerOptions = BENCH_PLANNER_OPTIONS,
         heterogeneous: bool = False,
         fill_strategy: str | None = None,
+        schedule: str | None = None,
         caches: PlannerCaches | None = None,
     ):
         self.model = model_factory()
@@ -185,7 +189,8 @@ class CDMThroughputSweep:
         # (S, D) combos: the bidirectional partitioner assigns each
         # chain position its own replica count, shared by the co-located
         # down/up stages.  ``fill_strategy`` swaps the bubble-filling
-        # policy (registry name) for the whole sweep.
+        # policy and ``schedule`` the schedule family (registry names)
+        # for the whole sweep.
         if heterogeneous:
             planner_options = replace(
                 planner_options, heterogeneous_replication=True
@@ -194,6 +199,8 @@ class CDMThroughputSweep:
             planner_options = replace(
                 planner_options, fill_strategy=fill_strategy
             )
+        if schedule is not None:
+            planner_options = replace(planner_options, schedule=schedule)
         self.planner_options = planner_options
         self.profile: ProfileDB = Profiler(p4de_cluster(1)).profile(self.model)
         self.caches = caches if caches is not None else PlannerCaches()

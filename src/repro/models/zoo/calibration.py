@@ -65,6 +65,35 @@ def layer_backward_time_ms(
     return device.kernel_overhead_ms + 2.0 * layer.fixed_overhead_ms + compute
 
 
+def layer_backward_weight_time_ms(
+    layer: LayerSpec, batch_size: float, device: DeviceSpec
+) -> float:
+    """Weight-gradient (W) component of a layer's backward time.
+
+    The backward pass runs two kernel families: grad-input (``dy @ W^T``,
+    on the inter-stage critical path) and grad-weight (``x^T @ dy``, only
+    needed before the optimizer step).  Of the layer's
+    ``backward_flops_multiplier`` x forward FLOPs, one forward-equivalent
+    computes the parameter gradients, so W's compute share is
+    ``1 / multiplier``; W also carries one of backward's two fixed
+    per-layer overheads (its own kernel set) while the launch tail
+    (``kernel_overhead_ms``) stays with grad-input.  Frozen and
+    parameter-less layers do no W work.
+
+    Always ``<= layer_backward_time_ms`` so B = backward - W is
+    non-negative.
+    """
+    if not layer.trainable or layer.param_bytes <= 0:
+        return 0.0
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch size must be positive, got {batch_size}")
+    mult = layer.backward_flops_multiplier
+    w_share = min(1.0, 1.0 / mult) if mult > 0 else 0.0
+    compute = layer.backward_flops(batch_size) / device.effective_flops_per_ms(batch_size)
+    w = layer.fixed_overhead_ms + w_share * compute
+    return min(w, layer_backward_time_ms(layer, batch_size, device))
+
+
 def flops_for_forward_time(
     target_ms: float,
     batch_size: float,

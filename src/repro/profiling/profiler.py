@@ -21,6 +21,7 @@ from ..errors import ConfigurationError
 from ..models.graph import ModelSpec
 from ..models.zoo.calibration import (
     layer_backward_time_ms,
+    layer_backward_weight_time_ms,
     layer_forward_time_ms,
 )
 from .records import LayerProfile, ProfileDB
@@ -96,14 +97,23 @@ class Profiler:
             for idx, layer in enumerate(comp.layers):
                 fwd = []
                 bwd = []
+                bwd_w = []
                 for b in self.batch_sizes:
                     fwd.append(layer_forward_time_ms(layer, b, device) * self._noise())
                     if layer.trainable:
-                        bwd.append(
-                            layer_backward_time_ms(layer, b, device) * self._noise()
-                        )
+                        total = layer_backward_time_ms(layer, b, device)
+                        sample = total * self._noise()
+                        bwd.append(sample)
+                        # The B/W split is a *ratio* read off the kernel
+                        # timeline of the same measured run, so the one
+                        # noise draw scales both components together (no
+                        # extra draw: the RNG stream, and hence every
+                        # legacy field, is unchanged).
+                        w = layer_backward_weight_time_ms(layer, b, device)
+                        bwd_w.append(sample * (w / total) if total > 0 else 0.0)
                     else:
                         bwd.append(0.0)
+                        bwd_w.append(0.0)
                 assert layer.activation_bytes_per_sample is not None
                 profiles.append(
                     LayerProfile(
@@ -118,6 +128,7 @@ class Profiler:
                         output_bytes_per_sample=layer.output_bytes_per_sample,
                         activation_bytes_per_sample=layer.activation_bytes_per_sample,
                         trainable=layer.trainable,
+                        bwd_w_ms=tuple(bwd_w),
                     )
                 )
         return ProfileDB(profiles)

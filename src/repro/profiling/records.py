@@ -25,6 +25,15 @@ class LayerProfile:
     ``batches``, ``fwd_ms`` and ``bwd_ms`` are parallel arrays sorted by
     batch size.  Sizes are per-sample for activations/outputs and total
     for parameters/gradients.
+
+    ``bwd_w_ms`` is the measured weight-gradient (W) component of the
+    backward time, another parallel array; split-backward schedule
+    families (``zerobubble``) price B = grad-input and W = grad-weight
+    separately.  Profiles that predate the split leave it ``None`` and
+    fall back to an even B/W split of the measured backward — the two
+    halves of the backward are one GEMM each (``dy @ W^T`` and
+    ``x^T @ dy``) of equal FLOPs, so half is the principled default when
+    no per-kernel measurement exists.
     """
 
     component: str
@@ -38,6 +47,7 @@ class LayerProfile:
     output_bytes_per_sample: float
     activation_bytes_per_sample: float
     trainable: bool
+    bwd_w_ms: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         # Per-batch interpolation caches.  The planner's sweeps evaluate
@@ -48,6 +58,7 @@ class LayerProfile:
         # equality/hash semantics are unchanged.
         object.__setattr__(self, "_fwd_cache", {})
         object.__setattr__(self, "_bwd_cache", {})
+        object.__setattr__(self, "_bww_cache", {})
         if not self.batches:
             raise ProfileError(
                 f"{self.component}[{self.layer_index}]: empty batch grid"
@@ -65,6 +76,18 @@ class LayerProfile:
             raise ProfileError(
                 f"{self.component}[{self.layer_index}]: negative times"
             )
+        if self.bwd_w_ms is not None:
+            if len(self.bwd_w_ms) != len(self.batches):
+                raise ProfileError(
+                    f"{self.component}[{self.layer_index}]: ragged bwd_w_ms"
+                )
+            if any(
+                not (0.0 <= w <= b) for w, b in zip(self.bwd_w_ms, self.bwd_ms)
+            ):
+                raise ProfileError(
+                    f"{self.component}[{self.layer_index}]: bwd_w_ms must "
+                    "satisfy 0 <= W <= backward at every grid point"
+                )
 
     def _interp(self, values: Sequence[float], batch: float) -> float:
         """Piecewise-linear interpolation with linear extrapolation."""
@@ -112,6 +135,31 @@ class LayerProfile:
         """Forward + backward time at a batch size."""
         return self.forward_ms(batch) + self.backward_ms(batch)
 
+    def backward_weight_ms(self, batch: float) -> float:
+        """Weight-gradient (W) component of the backward time.
+
+        Interpolated from ``bwd_w_ms`` when the profiler measured the
+        split; otherwise half of the measured backward (documented
+        fallback — the two backward GEMMs have equal FLOPs).  Clamped to
+        ``[0, backward_ms]`` so B + W always reconstructs the backward
+        exactly and B is never negative.
+        """
+        if not self.trainable:
+            return 0.0
+        total = self.backward_ms(batch)
+        if self.bwd_w_ms is None:
+            return 0.5 * total
+        cache: dict = self._bww_cache  # type: ignore[attr-defined]
+        t = cache.get(batch)
+        if t is None:
+            t = min(self._interp(self.bwd_w_ms, batch), total)
+            cache[batch] = t
+        return t
+
+    def backward_input_ms(self, batch: float) -> float:
+        """Grad-input (B) component: ``backward - W``, exactly."""
+        return self.backward_ms(batch) - self.backward_weight_ms(batch)
+
     def reset_caches(self) -> None:
         """Drop the per-batch interpolation memos (generation reset).
 
@@ -123,6 +171,7 @@ class LayerProfile:
         ``PlannerCaches.clear``) bounds them instead."""
         self._fwd_cache.clear()  # type: ignore[attr-defined]
         self._bwd_cache.clear()  # type: ignore[attr-defined]
+        self._bww_cache.clear()  # type: ignore[attr-defined]
 
     def output_bytes(self, batch: float) -> float:
         """Output activation size at a batch size."""
@@ -207,6 +256,7 @@ class ProfileDB:
                         p.output_bytes_per_sample,
                         p.activation_bytes_per_sample,
                         p.trainable,
+                        p.bwd_w_ms,
                     )
                 ).encode()
             )
@@ -252,6 +302,10 @@ class ProfileDB:
         """Backward time of layer ``index`` at a batch size."""
         return self.layer(component, index).backward_ms(batch)
 
+    def bwd_w_ms(self, component: str, index: int, batch: float) -> float:
+        """Weight-gradient (W) time of layer ``index`` at a batch size."""
+        return self.layer(component, index).backward_weight_ms(batch)
+
     # -- stage aggregates (contiguous layer ranges) ------------------------------
 
     def stage_fwd_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
@@ -273,6 +327,30 @@ class ProfileDB:
             t = sum(self.bwd_ms(component, i, batch) for i in range(lo, hi))
             self._stage_cache[key] = t
         return t
+
+    def stage_bwd_w_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
+        """Sum of weight-gradient (W) times of layers ``[lo, hi)``."""
+        key = ("w", component, lo, hi, batch)
+        t = self._stage_cache.get(key)
+        if t is None:
+            self._check_range(component, lo, hi)
+            t = sum(self.bwd_w_ms(component, i, batch) for i in range(lo, hi))
+            self._stage_cache[key] = t
+        return t
+
+    def stage_bwd_b_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
+        """Grad-input (B) time of layers ``[lo, hi)``.
+
+        Defined as ``stage_bwd_ms - stage_bwd_w_ms`` (not a separate
+        sum) so B + W reconstructs the stage backward exactly in
+        floating point; clamped at zero against ulp-level summation
+        order effects.
+        """
+        return max(
+            0.0,
+            self.stage_bwd_ms(component, lo, hi, batch)
+            - self.stage_bwd_w_ms(component, lo, hi, batch),
+        )
 
     def stage_train_ms(self, component: str, lo: int, hi: int, batch: float) -> float:
         """Sum of forward+backward times of layers ``[lo, hi)``."""

@@ -38,6 +38,11 @@ class StageExec:
         Number of physical devices this (logical) stage replicates on.
     layer_range:
         The (component, lo, hi) layer slice this stage runs, if known.
+    bwd_b_ms / bwd_w_ms:
+        Split-backward components (grad-input / grad-weight) used by the
+        ``zerobubble`` family.  Default to an even split of ``bwd_ms``
+        (exact in floating point); when one is given the other is
+        derived so B + W always reconstructs ``bwd_ms``.
     """
 
     index: int
@@ -49,6 +54,8 @@ class StageExec:
     sync_ms: float = 0.0
     replicas: int = 1
     layer_range: tuple[str, int, int] | None = None
+    bwd_b_ms: float | None = None
+    bwd_w_ms: float | None = None
 
     def __post_init__(self) -> None:
         if self.index < 0:
@@ -62,6 +69,27 @@ class StageExec:
             object.__setattr__(self, "sc_fwd_ms", self.fwd_ms)
         elif self.sc_fwd_ms < 0:
             raise ConfigurationError(f"stage {self.index}: negative sc_fwd_ms")
+        b, w = self.bwd_b_ms, self.bwd_w_ms
+        if b is None and w is None:
+            # x/2 + x/2 == x exactly in IEEE arithmetic.
+            w = 0.5 * self.bwd_ms
+            b = self.bwd_ms - w
+        elif b is None:
+            b = self.bwd_ms - w
+        elif w is None:
+            w = self.bwd_ms - b
+        if b < 0 or w < 0:
+            raise ConfigurationError(
+                f"stage {self.index}: backward split components must be "
+                f"non-negative (bwd={self.bwd_ms}, B={b}, W={w})"
+            )
+        if abs((b + w) - self.bwd_ms) > 1e-9 * max(1.0, self.bwd_ms):
+            raise ConfigurationError(
+                f"stage {self.index}: B + W must reconstruct bwd_ms "
+                f"(bwd={self.bwd_ms}, B={b}, W={w})"
+            )
+        object.__setattr__(self, "bwd_b_ms", b)
+        object.__setattr__(self, "bwd_w_ms", w)
 
 
 def validate_stages(stages: Sequence[StageExec]) -> list[StageExec]:

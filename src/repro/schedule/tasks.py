@@ -22,7 +22,8 @@ class TaskKind(enum.Enum):
     """What a task models; used for timeline rendering and accounting."""
 
     FORWARD = "forward"
-    BACKWARD = "backward"
+    BACKWARD = "backward"          # grad-input (B), or the whole backward
+    BACKWARD_W = "backward_w"      # grad-weight (W) of a split backward
     SC_FORWARD = "sc_forward"      # self-conditioning extra forward
     NT_FORWARD = "nt_forward"      # non-trainable (frozen) layer execution
     COMM = "comm"                  # inter-stage activation/gradient transfer
@@ -32,8 +33,16 @@ class TaskKind(enum.Enum):
 
 #: Task kinds that occupy a device's *compute* engine.  SYNC runs on the
 #: collective engine and may be overlapped by NT compute (paper Fig. 9).
+#: BACKWARD_W is compute: a zero-bubble schedule's W work counts as busy
+#: time, which is exactly how it shrinks the bubble metric.
 COMPUTE_KINDS = frozenset(
-    {TaskKind.FORWARD, TaskKind.BACKWARD, TaskKind.SC_FORWARD, TaskKind.NT_FORWARD}
+    {
+        TaskKind.FORWARD,
+        TaskKind.BACKWARD,
+        TaskKind.BACKWARD_W,
+        TaskKind.SC_FORWARD,
+        TaskKind.NT_FORWARD,
+    }
 )
 
 

@@ -197,6 +197,7 @@ class Timeline:
         TaskKind.FORWARD: "F",
         TaskKind.SC_FORWARD: "s",
         TaskKind.BACKWARD: "B",
+        TaskKind.BACKWARD_W: "W",
         TaskKind.NT_FORWARD: "n",
         TaskKind.SYNC: "=",
         TaskKind.COMM: "-",
@@ -207,8 +208,9 @@ class Timeline:
         """Render the timeline as an ASCII Gantt chart.
 
         Each row is a device; each column a time slice; letters identify
-        task kinds (F forward, B backward, s self-conditioning forward,
-        n non-trainable forward, = sync, . idle).
+        task kinds (F forward, B backward/grad-input, W grad-weight,
+        s self-conditioning forward, n non-trainable forward, = sync,
+        . idle).
         """
         span = self.makespan
         if span <= 0:

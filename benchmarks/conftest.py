@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.cluster import p4de_cluster, single_node
+from repro.cluster import single_node
 from repro.models.zoo import (
     cdm_imagenet,
     cdm_lsun,

@@ -18,7 +18,7 @@ from repro.baselines import (
     SequentialCDMBaseline,
 )
 from repro.cluster import single_node
-from repro.harness import format_table, oom_or, pct
+from repro.harness import format_table, pct
 
 BATCHES = (128, 256, 512)
 

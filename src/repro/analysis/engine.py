@@ -1,0 +1,268 @@
+"""AST invariant engine: rule registry, findings, suppressions.
+
+The planner's correctness story leans on invariants that dynamic tests
+can only witness after the fact — deterministic replay, lock-disciplined
+shared state, registry-only construction, cache ownership.  This module
+is the static half: a reusable AST-walking rule engine that checks those
+invariants *before* they reach the bit-identity harnesses.
+
+The registry mirrors :mod:`repro.core.fill_strategies` and
+:mod:`repro.schedule.families`: rules register under a name with
+:func:`register_rule`, are instantiated by :func:`get_rule` (unknown
+names raise :class:`~repro.errors.ConfigurationError` with the sorted
+catalog), and are listed by :func:`rule_names`.  Each rule declares
+*scope globs* — :mod:`fnmatch` patterns over package-relative posix
+paths — so e.g. the lock-discipline checker only walks the concurrent
+modules it understands.
+
+Findings are structured :class:`Finding` records (file, line, rule id,
+message) with a stable JSON shape (:meth:`Finding.as_dict` /
+:meth:`Finding.from_dict`) for the ``repro analyze --json`` output.
+
+Suppressions
+------------
+A violation that is sanctioned (a documented GIL-atomic read path, an
+identity memo that never reaches serialized output) is silenced inline::
+
+    self._data.move_to_end(key)  # repro: allow[lock-discipline] GIL-atomic
+
+The comment may sit on the offending line or on the line directly above
+it; the text after the bracket is the rationale (required by review
+convention, not enforced).  Several ids may share one comment:
+``# repro: allow[determinism, float-equality] why``.  A suppression that
+silences nothing is itself reported (rule id ``unused-suppression``), so
+stale annotations cannot linger after the code they excused is gone.
+"""
+
+from __future__ import annotations
+
+import ast
+import io
+import re
+import tokenize
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Callable, Iterable, Iterator, Protocol, Sequence
+
+from ..errors import ConfigurationError
+
+#: inline suppression comment syntax (see the module docstring); kept
+#: free of a literal example so the scanner does not match this line
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([^\]]*)\]")
+
+#: rule id of the engine's own stale-suppression check (always active;
+#: not registered — it cannot be selected or suppressed).
+UNUSED_SUPPRESSION = "unused-suppression"
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source line."""
+
+    path: str  #: package-relative posix path
+    line: int  #: 1-based line number
+    rule: str  #: registry id of the rule that fired
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+    def as_dict(self) -> dict:
+        return {
+            "path": self.path,
+            "line": self.line,
+            "rule": self.rule,
+            "message": self.message,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        return cls(
+            path=data["path"],
+            line=int(data["line"]),
+            rule=data["rule"],
+            message=data["message"],
+        )
+
+
+class ModuleSource:
+    """One parsed module: path, text, AST, and suppression map.
+
+    Parsed exactly once; every in-scope rule walks the same tree, so a
+    full-package run stays well under the 2 s budget.
+    """
+
+    def __init__(self, path: Path, rel: str, text: str):
+        self.path = path
+        self.rel = rel
+        self.text = text
+        self.tree = ast.parse(text, filename=str(path))
+        #: line -> set of rule ids allowed on that line.  Tokenized, not
+        #: regexed over raw lines, so the syntax can be *mentioned* in a
+        #: docstring without registering a suppression.
+        self.suppressions: dict[int, set[str]] = {}
+        for tok in tokenize.generate_tokens(io.StringIO(text).readline):
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = SUPPRESS_RE.search(tok.string)
+            if match:
+                ids = {s.strip() for s in match.group(1).split(",") if s.strip()}
+                self.suppressions[tok.start[0]] = ids
+
+    def finding(self, node: ast.AST | int, rule: str, message: str) -> Finding:
+        """Build a :class:`Finding` for ``node`` (or a raw line number)."""
+        line = node if isinstance(node, int) else getattr(node, "lineno", 0)
+        return Finding(path=self.rel, line=line, rule=rule, message=message)
+
+
+class Rule(Protocol):
+    """A static invariant: walks one module, yields findings."""
+
+    #: registry id (also the suppression / ``--rule`` spelling)
+    name: str
+    #: one-line catalog description (``repro analyze --list-rules``)
+    description: str
+    #: fnmatch globs over package-relative posix paths; a module is in
+    #: scope when it matches any of these...
+    scope: tuple[str, ...]
+    #: ...and none of these.
+    exclude: tuple[str, ...]
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        ...  # pragma: no cover - protocol
+
+
+RULES: dict[str, Callable[[], Rule]] = {}
+
+
+def register_rule(name: str):
+    """Class decorator adding a rule factory under ``name``."""
+
+    def deco(cls):
+        RULES[name] = cls
+        return cls
+
+    return deco
+
+
+def get_rule(name: str) -> Rule:
+    """Instantiate the rule registered under ``name``."""
+    factory = RULES.get(name)
+    if factory is None:
+        raise ConfigurationError(
+            f"unknown analysis rule {name!r}; registered: {rule_names()}"
+        )
+    return factory()
+
+
+def rule_names() -> tuple[str, ...]:
+    """Registered rule ids, sorted (CLI choices, docs)."""
+    return tuple(sorted(RULES))
+
+
+def in_scope(rule: Rule, rel: str) -> bool:
+    """True when ``rel`` matches the rule's scope globs.
+
+    Patterns follow :func:`fnmatch.fnmatch` semantics, where ``*``
+    crosses ``/`` — so ``core/*.py`` covers the whole ``core`` package.
+    """
+    if not any(fnmatch(rel, pat) for pat in rule.scope):
+        return False
+    return not any(fnmatch(rel, pat) for pat in rule.exclude)
+
+
+def package_root() -> Path:
+    """Directory of the installed ``repro`` package (the default tree)."""
+    import repro
+
+    return Path(repro.__file__).parent
+
+
+def _top_package(start: Path) -> Path:
+    """Climb to the outermost directory that is still a package, so
+    relative paths are package-relative (``core/caches.py``) no matter
+    which file or subdirectory was passed.  A plain directory with no
+    ``__init__.py`` (e.g. a test fixture tree) is its own root."""
+    top = start
+    cur = start
+    while (cur / "__init__.py").exists():
+        top = cur
+        cur = cur.parent
+    return top
+
+
+def iter_sources(paths: Sequence[Path]) -> Iterator[ModuleSource]:
+    """Yield a parsed :class:`ModuleSource` for every ``.py`` file under
+    ``paths`` (files or directories), sorted for deterministic output."""
+    for base in paths:
+        base = Path(base)
+        if base.is_dir():
+            root = _top_package(base)
+            files = sorted(p for p in base.rglob("*.py")
+                           if "__pycache__" not in p.parts)
+        else:
+            root = _top_package(base.parent)
+            files = [base]
+        for path in files:
+            rel = path.relative_to(root).as_posix()
+            yield ModuleSource(path, rel, path.read_text())
+
+
+def analyze(
+    paths: Sequence[Path] | None = None,
+    rule_names_: Iterable[str] | None = None,
+) -> list[Finding]:
+    """Run rules over a tree and return surviving findings, sorted.
+
+    ``paths`` defaults to the installed ``repro`` package;
+    ``rule_names_`` defaults to every registered rule.  Findings on a
+    line carrying (or directly below) a matching ``# repro:
+    allow[rule-id]`` comment are dropped; suppressions that dropped
+    nothing — including ids not registered at all — come back as
+    ``unused-suppression`` findings, but only for rules that actually
+    ran, so ``--rule`` subsets never misreport another rule's
+    annotations as stale.
+    """
+    rules = [get_rule(n) for n in (rule_names_ or rule_names())]
+    selected = {r.name for r in rules}
+    findings: list[Finding] = []
+    for src in iter_sources([package_root()] if paths is None else paths):
+        used: set[tuple[int, str]] = set()
+        for rule in rules:
+            if not in_scope(rule, src.rel):
+                continue
+            for finding in rule.check(src):
+                sup = _suppressed_at(src, finding.line, finding.rule)
+                if sup is not None:
+                    used.add((sup, finding.rule))
+                else:
+                    findings.append(finding)
+        for line, ids in src.suppressions.items():
+            for rule_id in ids:
+                if rule_id not in selected:
+                    if rule_id not in RULES:
+                        findings.append(src.finding(
+                            line, UNUSED_SUPPRESSION,
+                            f"suppression names unknown rule {rule_id!r}; "
+                            f"registered: {rule_names()}",
+                        ))
+                    continue
+                if (line, rule_id) not in used:
+                    findings.append(src.finding(
+                        line, UNUSED_SUPPRESSION,
+                        f"suppression for {rule_id!r} matches no finding; "
+                        "remove the stale allow comment",
+                    ))
+    return sorted(findings)
+
+
+def _suppressed_at(src: ModuleSource, line: int, rule_id: str) -> int | None:
+    """Suppression line covering (``line``, ``rule_id``), or None.
+
+    A comment counts on the offending line itself or — for statements
+    too long to annotate inline — on the line directly above."""
+    for candidate in (line, line - 1):
+        if rule_id in src.suppressions.get(candidate, ()):
+            return candidate
+    return None

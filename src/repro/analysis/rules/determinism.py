@@ -1,0 +1,152 @@
+"""Rule ``determinism``: planner outputs are pure functions of inputs.
+
+DiffusionPipe's correctness harnesses — golden ``float.hex`` baselines,
+snapshot replay, the differential fill oracles — all assert *bit
+identity*: the same model/cluster/batch must produce the same plan, in
+the same order, in every process.  Four bug classes silently break that
+while passing every functional test, so ``core/``, ``schedule/`` and
+``harness/`` ban them statically:
+
+* **wall-clock values** — ``time.time()`` / ``time.monotonic()`` /
+  ``time.perf_counter()`` (and their ``_ns`` twins, ``datetime.now``):
+  a timestamp that reaches a plan, a memo key or a serialized report
+  differs on every run.  (The service layer measures latency with
+  ``perf_counter`` — telemetry, not plan content — and is out of scope.)
+* **unseeded randomness** — module-level ``random.*`` draws from
+  process-global state; construct a seeded ``random.Random(seed)`` (or
+  ``np.random.default_rng(seed)``) instead.
+* **``id()``** — CPython addresses differ across processes; an ``id()``
+  in a sort key or cache key reorders output between the service's
+  workers and the coordinator.
+* **set iteration feeding ordered output** — ``for x in set(...)``,
+  ``list(set(...))``, ``tuple(...)``/``enumerate(...)``/``.join(...)``
+  over a set, or a list comprehension over one: with string keys the
+  order depends on the per-process hash seed.  ``sorted(set(...))`` is
+  the deterministic spelling and is not flagged; for order-preserving
+  dedup use ``dict.fromkeys(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, register_rule
+
+#: clock attributes, per base name (the ``time`` module and the
+#: ``datetime`` module/class)
+CLOCKS = {
+    "time": frozenset({
+        "time", "monotonic", "perf_counter", "time_ns", "monotonic_ns",
+        "perf_counter_ns",
+    }),
+    "datetime": frozenset({"now", "utcnow", "today"}),
+}
+
+#: ordered-output constructors over an unordered set (``sorted`` and
+#: ``min``/``max`` are order-insensitive and deliberately absent)
+ORDERING_CALLS = frozenset({"list", "tuple", "enumerate"})
+
+
+def _is_set_expr(node: ast.expr) -> bool:
+    """A value of set type, syntactically: ``set(...)``/``frozenset(...)``
+    calls, set literals, set comprehensions."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in ("set", "frozenset")
+    )
+
+
+@register_rule("determinism")
+class DeterminismRule:
+    name = "determinism"
+    description = (
+        "no wall-clock values, unseeded random, id() keys, or "
+        "set-iteration-ordered output in core/, schedule/, harness/"
+    )
+    scope = ("core/*", "schedule/*", "harness/*")
+    exclude = ()
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            yield from self._clocks_and_random(src, node)
+            yield from self._id_calls(src, node)
+            yield from self._set_ordering(src, node)
+
+    # -- wall clocks and process-global randomness ---------------------------
+
+    def _clocks_and_random(self, src, node) -> Iterator[Finding]:
+        if isinstance(node, ast.Attribute) and isinstance(
+            node.value, ast.Name
+        ):
+            base = node.value.id
+            if node.attr in CLOCKS.get(base, ()):
+                yield src.finding(
+                    node, self.name,
+                    f"{base}.{node.attr} is a wall-clock value; plans and "
+                    "memo keys must be pure functions of their inputs",
+                )
+            elif base == "random" and node.attr != "Random":
+                yield src.finding(
+                    node, self.name,
+                    f"random.{node.attr} draws from process-global state; "
+                    "use a seeded random.Random(seed) instance",
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module == "random":
+            yield src.finding(
+                node, self.name,
+                "importing from the random module pulls process-global "
+                "state; construct a seeded random.Random(seed) instead",
+            )
+
+    # -- id() as a key -------------------------------------------------------
+
+    def _id_calls(self, src, node) -> Iterator[Finding]:
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "id"
+        ):
+            yield src.finding(
+                node, self.name,
+                "id() is a process-local address; unfit for sort or "
+                "cache keys that feed reproducible output",
+            )
+
+    # -- set iteration feeding ordered output --------------------------------
+
+    def _set_ordering(self, src, node) -> Iterator[Finding]:
+        if isinstance(node, (ast.For, ast.AsyncFor)) and _is_set_expr(
+            node.iter
+        ):
+            yield src.finding(
+                node, self.name,
+                "iterating a set in a for loop orders output by the "
+                "per-process hash seed; use sorted(...) or "
+                "dict.fromkeys(...) for order-preserving dedup",
+            )
+        elif isinstance(node, ast.ListComp) and _is_set_expr(
+            node.generators[0].iter
+        ):
+            yield src.finding(
+                node, self.name,
+                "a list comprehension over a set inherits hash-seed "
+                "order; use sorted(...) or dict.fromkeys(...)",
+            )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            direct = (
+                isinstance(func, ast.Name)
+                and func.id in ORDERING_CALLS
+            )
+            join = isinstance(func, ast.Attribute) and func.attr == "join"
+            if (direct or join) and node.args and _is_set_expr(node.args[0]):
+                what = func.id if direct else "str.join"
+                yield src.finding(
+                    node, self.name,
+                    f"{what}() over a set orders output by the "
+                    "per-process hash seed; sort first",
+                )

@@ -1,0 +1,72 @@
+"""Rule ``float-equality``: no bare ``==``/``!=`` between float values.
+
+Every cross-implementation check in this repo — simulator vs reference,
+lookahead vs oracle, golden sweeps — compares floats either through the
+sanctioned equivalence module (:mod:`repro.engine.equivalence`) or
+through exact ``float.hex()`` golden serialization, precisely because a
+bare ``==`` between independently-derived float expressions is a
+rounding-order landmine.  This rule flags equality comparisons where
+either side is *syntactically* float-typed:
+
+* a float literal (``x == 0.5``),
+* a ``float(...)`` conversion,
+* a true division (``a / b == c``),
+* a unary sign on any of the above.
+
+The heuristic is deliberately syntactic — no type inference — so it
+cannot see every float comparison, but it catches the ways one is
+usually written.  Exact *sentinel* comparisons (a ``0.0`` that means
+"disabled" or "nothing left", never the result of arithmetic on the
+other side) are sanctioned case by case with
+``# repro: allow[float-equality] <why exactness holds>``.
+
+:mod:`repro.engine.equivalence` itself is out of scope: it is the one
+module whose job is defining float comparison.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from ..engine import Finding, ModuleSource, register_rule
+
+
+def _is_floaty(node: ast.expr) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floaty(node.operand)
+    if isinstance(node, ast.Call):
+        return isinstance(node.func, ast.Name) and node.func.id == "float"
+    if isinstance(node, ast.BinOp):
+        return isinstance(node.op, ast.Div)
+    return False
+
+
+@register_rule("float-equality")
+class FloatEqualityRule:
+    name = "float-equality"
+    description = (
+        "no bare ==/!= between float expressions outside the "
+        "equivalence oracle; sentinels need an allow rationale"
+    )
+    scope = ("*",)
+    exclude = ("engine/equivalence.py",)
+
+    def check(self, src: ModuleSource) -> Iterator[Finding]:
+        for node in ast.walk(src.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if _is_floaty(left) or _is_floaty(right):
+                    yield src.finding(
+                        node, self.name,
+                        "bare float ==/!= is a rounding-order landmine; "
+                        "compare via math.isclose, an exact integer/"
+                        "Fraction domain, or the equivalence oracle",
+                    )
+                    break

@@ -17,14 +17,9 @@ to ``states / world + largest layer working set + activations``.
 
 from __future__ import annotations
 
-from ..cluster.collectives import CollectiveModel
-from ..cluster.topology import ClusterSpec
-from ..errors import ConfigurationError
-from ..models.graph import ModelSpec
-from ..profiling.records import ProfileDB
 from ..memory.estimator import data_parallel_memory_report
 from ..core.plan import MemoryReport
-from .data_parallel import BaselineResult, DataParallelBaseline, _oom_result
+from .data_parallel import DataParallelBaseline
 
 
 class Zero3Baseline(DataParallelBaseline):

@@ -18,6 +18,10 @@ Commands
     Drive a request stream against cold and snapshot-warmed services.
 ``snapshot``
     Warm the planner caches with a sweep and persist them to disk.
+``analyze``
+    Run the static invariant rules (AST engine) over the package —
+    cache ownership, registry-only builders, lock discipline,
+    determinism, float equality — and exit non-zero on findings.
 """
 
 from __future__ import annotations
@@ -327,6 +331,49 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_analyze(args: argparse.Namespace) -> int:
+    import json
+    from pathlib import Path
+
+    from .analysis import analyze, get_rule, rule_names
+
+    if args.list_rules:
+        rows = []
+        for name in rule_names():
+            rule = get_rule(name)
+            rows.append([name, ", ".join(rule.scope), rule.description])
+        print(format_table(["rule", "scope", "description"], rows,
+                           title="repro analyze rules"))
+        return 0
+    try:
+        selected = tuple(args.rules) if args.rules else rule_names()
+        for name in selected:
+            get_rule(name)  # validates; unknown ids raise
+        findings = analyze(
+            paths=[Path(p) for p in args.paths] if args.paths else None,
+            rule_names_=selected,
+        )
+    except ReproError as exc:
+        print(f"analysis failed: {exc}", file=sys.stderr)
+        return 2
+    if args.json:
+        print(json.dumps(
+            {
+                "rules": list(selected),
+                "count": len(findings),
+                "findings": [f.as_dict() for f in findings],
+            },
+            indent=2,
+        ))
+    else:
+        for finding in findings:
+            print(finding.format())
+        noun = "finding" if len(findings) == 1 else "findings"
+        print(f"repro analyze: {len(findings)} {noun} "
+              f"({len(selected)} rules)")
+    return 1 if findings else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="DiffusionPipe reproduction CLI"
@@ -428,6 +475,23 @@ def build_parser() -> argparse.ArgumentParser:
                    choices=fill_strategy_names())
     p.add_argument("--out", required=True, help="snapshot file to write")
     p.set_defaults(func=cmd_snapshot)
+
+    p = sub.add_parser(
+        "analyze",
+        help="run the static invariant rules over the package",
+    )
+    p.add_argument("paths", nargs="*",
+                   help="files or directories to analyze (default: the "
+                        "installed repro package)")
+    p.add_argument("--rule", action="append", dest="rules", metavar="ID",
+                   help="run only this rule (repeatable); unknown ids "
+                        "are rejected with the sorted catalog")
+    p.add_argument("--list-rules", action="store_true",
+                   help="print the rule catalog and exit")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable findings (stable schema: "
+                        "rules, count, findings[path/line/rule/message])")
+    p.set_defaults(func=cmd_analyze)
     return parser
 
 

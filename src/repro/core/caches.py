@@ -334,8 +334,10 @@ class PlannerCaches:
         fingerprints: dict[int, str] = {}
 
         def fp_of(profile) -> str:
+            # repro: allow[determinism] per-call identity memo only
             fp = fingerprints.get(id(profile))
             if fp is None:
+                # repro: allow[determinism] snapshot stores fingerprints
                 fp = fingerprints[id(profile)] = profile.fingerprint()
             return fp
 
@@ -390,7 +392,7 @@ class PlannerCaches:
             with open(path, "rb") as fh:
                 payload = pickle.load(fh)
         except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as e:
-            raise SnapshotError(f"cannot read cache snapshot {path}: {e}")
+            raise SnapshotError(f"cannot read cache snapshot {path}: {e}") from e
         if (
             not isinstance(payload, dict)
             or payload.get("magic") != SNAPSHOT_MAGIC

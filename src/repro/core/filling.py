@@ -76,6 +76,7 @@ class ComponentState:
     remaining: float = 0.0
 
     def __post_init__(self) -> None:
+        # repro: allow[float-equality] 0.0 is the "unset" default, not math
         if self.remaining == 0.0:
             self.remaining = self.batch
 
@@ -540,6 +541,7 @@ class BubbleFiller:
             bubble_device_time_ms=sum(b.device_time for b in bubbles),
             leftover_ms=leftover,
             num_bubbles=len(bubbles),
+            # repro: allow[float-equality] exact 0.0 iff no work remains
             complete=leftover == 0.0,
             strategy=self.strategy,
             candidates_dropped=candidates_dropped,

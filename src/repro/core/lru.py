@@ -100,6 +100,7 @@ class LruStore:
             self.misses += 1
             return None
         try:
+            # repro: allow[lock-discipline] GIL-atomic read-path refresh
             self._data.move_to_end(key)
         except KeyError:
             # Lost a race with an eviction; the value itself is still

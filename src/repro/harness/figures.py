@@ -7,7 +7,7 @@ benchmark renders and asserts on.
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Mapping, Sequence
+from typing import Sequence
 
 from ..cluster.topology import ClusterSpec
 from ..core.planner import DiffusionPipePlanner, PlannerCaches, PlannerOptions

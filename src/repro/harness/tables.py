@@ -36,6 +36,7 @@ def format_bars(
     lw = max((len(l) for l in labels), default=0)
     lines = []
     for label, v in zip(labels, values):
+        # repro: allow[float-equality] inf is an exact OOM sentinel
         if v != v or v == float("inf"):
             bar, val = "(oom)", "-"
         else:
@@ -52,6 +53,7 @@ def pct(x: float, digits: int = 1) -> str:
 
 def oom_or(value: float, fmt: str = "{:.0f}") -> str:
     """Format a throughput cell, showing OOM for infeasible points."""
+    # repro: allow[float-equality] 0.0/inf are exact OOM sentinels
     if value != value or value in (float("inf"),) or value == 0.0:
         return "OOM"
     return fmt.format(value)

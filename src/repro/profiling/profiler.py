@@ -85,6 +85,7 @@ class Profiler:
     # -- measurement -----------------------------------------------------------
 
     def _noise(self) -> float:
+        # repro: allow[float-equality] 0.0 means "noise off", set not computed
         if self.noise_std == 0.0:
             return 1.0
         return float(np.exp(self._rng.normal(0.0, self.noise_std)))

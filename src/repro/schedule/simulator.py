@@ -72,7 +72,9 @@ def simulate(
     remaining_deps = {tid: len(set(t.deps)) for tid, t in by_id.items()}
     dependents: dict[str, list[str]] = defaultdict(list)
     for t in by_id.values():
-        for d in set(t.deps):
+        # dict.fromkeys, not set(): dependents lists feed dispatch order,
+        # and set iteration would vary with the per-process hash seed.
+        for d in dict.fromkeys(t.deps):
             dependents[d].append(t.task_id)
     #: incrementally-maintained max end time of each task's completed
     #: dependencies; 0.0 for zero-dep tasks (the reference's
@@ -204,7 +206,9 @@ def simulate_reference(
     remaining_deps = {tid: len(set(t.deps)) for tid, t in by_id.items()}
     dependents: dict[str, list[str]] = defaultdict(list)
     for t in by_id.values():
-        for d in set(t.deps):
+        # dict.fromkeys, not set(): dependents lists feed dispatch order,
+        # and set iteration would vary with the per-process hash seed.
+        for d in dict.fromkeys(t.deps):
             dependents[d].append(t.task_id)
     # Max end time of completed dependencies, maintained incrementally
     # (0.0 for zero-dep tasks) instead of recomputed per unlock.

@@ -14,9 +14,8 @@ from repro.baselines import (
     equal_layer_partition,
     single_backbone_view,
 )
-from repro.cluster import p4de_cluster, single_node
+from repro.cluster import p4de_cluster
 from repro.errors import ConfigurationError
-from repro.models.zoo import cascaded_model, uniform_model
 from repro.profiling import Profiler
 
 

@@ -4,7 +4,6 @@ import pytest
 
 from repro.baselines import ChimeraBaseline, ChimeraConfig, GPipeBaseline
 from repro.errors import ConfigurationError
-from repro.models.zoo import cascaded_model
 
 
 def test_chimera_runs(cluster8, uniform, uniform_profile):

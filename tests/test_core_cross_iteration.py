@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core import (
-    Bubble,
     FillReport,
     compose_iteration,
     extract_bubbles,

@@ -12,7 +12,6 @@ from repro.core import (
 )
 from repro.core.filling import apply_fill
 from repro.errors import FillingError
-from repro.models.zoo import long_layer_model, two_encoder_model, uniform_model
 from repro.profiling import ProfileDB
 
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cluster import CollectiveModel, CommCosts, single_node
+from repro.cluster import CommCosts
 from repro.core import PartitionContext, StageCosts, partition_backbone
 from repro.core.partition import pareto_insert
 from repro.errors import ConfigurationError, PartitionError

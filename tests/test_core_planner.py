@@ -4,7 +4,7 @@ import pytest
 
 from repro.core import DiffusionPipePlanner, PlannerOptions
 from repro.errors import ConfigurationError
-from repro.models.zoo import cascaded_model, uniform_model
+from repro.models.zoo import uniform_model
 
 
 def _options(**kw):
@@ -102,7 +102,6 @@ def test_cdm_plan_is_bidirectional(cluster8, cascaded, cascaded_profile):
 
 def test_memory_gate_rejects_oversized(cluster8, uniform):
     """With a tiny device, every config OOMs and planning fails."""
-    from dataclasses import replace as dc_replace
     from repro.cluster import ClusterSpec, DeviceSpec
     from repro.profiling import Profiler
 

@@ -4,7 +4,7 @@ import json
 
 import pytest
 
-from repro.core import DiffusionPipePlanner, PlannerOptions, extract_bubbles
+from repro.core import DiffusionPipePlanner, PlannerOptions
 from repro.core.plan import FillItem
 from repro.errors import ConfigurationError
 from repro.export import (

@@ -1,14 +1,10 @@
 """Bubble-filling edge cases and failure injection."""
 
-import pytest
-
 from repro.core import Bubble, BubbleFiller
 from repro.core.filling import full_batch_candidates, ComponentState
-from repro.errors import FillingError
-from repro.models import ComponentSpec, LayerSpec, ModelSpec
-from repro.models.zoo import timed_component, uniform_model
+from repro.models import ModelSpec
+from repro.models.zoo import timed_component
 from repro.profiling import ProfileDB, Profiler
-from repro.cluster import single_node
 
 
 def _bubble(duration, weight=1, start=0.0):

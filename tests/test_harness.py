@@ -3,7 +3,6 @@
 import pytest
 
 from repro.harness import (
-    Comparison,
     ExperimentReport,
     format_bars,
     format_table,

@@ -10,7 +10,6 @@ from repro.harness import (
     nt_layer_times,
     top_layer_series,
 )
-from repro.models.zoo import long_layer_model, uniform_model
 
 
 def test_bubble_ratio_grid_monotone(cluster8, uniform, uniform_profile):

@@ -2,80 +2,30 @@
 
 The cache-ownership refactor moved every planner memo (``_CHAIN_CACHE``,
 ``_HET_CACHE``, ``_CDM_CACHE``, ``_CDM_HET_CACHE``, ``_PREFIX_CACHE``,
-``_TIMELINE_CACHE``) into :class:`PlannerCaches` fields.  This test
-walks the ASTs of every module in ``repro.core`` and fails on any
-module-level assignment that smells like a cache store, so a future
-change cannot quietly reintroduce process-global warm state outside
-the sanctioned :func:`default_caches` singleton.
+``_TIMELINE_CACHE``) into :class:`PlannerCaches` fields.  The AST walk
+that used to live here is now the ``cache-globals`` rule of the shared
+:mod:`repro.analysis` engine; this test is a thin wrapper so the gate
+and ``repro analyze`` can never drift apart.
 """
 
 from __future__ import annotations
 
-import ast
-import re
-from pathlib import Path
-
-import repro.core
-
-CORE_DIR = Path(repro.core.__file__).parent
-
-#: module-level names that must not exist: the historical globals were
-#: all-caps with a CACHE component (``_TIMELINE_CACHE`` etc.); capacity
-#: constants like ``CHAIN_CACHE_MAX_TABLES`` are public and fine.
-FORBIDDEN_NAME = re.compile(r"^_[A-Z0-9_]*CACHE[A-Z0-9_]*$")
-
-#: module-level calls that would build a mutable store at import time.
-FORBIDDEN_CTORS = {"WeakKeyDictionary", "OrderedDict", "defaultdict"}
-
-#: the one sanctioned module-level store: the lazily-built default
-#: PlannerCaches singleton (starts as None, built under a lock).
-ALLOWED = {("caches.py", "_default_caches")}
-
-
-def _assigned_names(node: ast.stmt):
-    if isinstance(node, ast.Assign):
-        for target in node.targets:
-            if isinstance(target, ast.Name):
-                yield target.id
-    elif isinstance(node, ast.AnnAssign) and isinstance(node.target, ast.Name):
-        yield node.target.id
-
-
-def _ctor_name(node: ast.stmt) -> str | None:
-    value = getattr(node, "value", None)
-    if not isinstance(value, ast.Call):
-        return None
-    func = value.func
-    if isinstance(func, ast.Attribute):
-        return func.attr
-    if isinstance(func, ast.Name):
-        return func.id
-    return None
+from repro.analysis import analyze
 
 
 def test_core_has_no_module_level_cache_globals():
-    offenders = []
-    for path in sorted(CORE_DIR.glob("*.py")):
-        tree = ast.parse(path.read_text(), filename=str(path))
-        for node in tree.body:  # module level only, by construction
-            names = list(_assigned_names(node))
-            for name in names:
-                if (path.name, name) in ALLOWED:
-                    continue
-                if FORBIDDEN_NAME.match(name):
-                    offenders.append(f"{path.name}: {name} (cache-global name)")
-            ctor = _ctor_name(node)
-            if ctor in FORBIDDEN_CTORS and not any(
-                (path.name, n) in ALLOWED for n in names
-            ):
-                offenders.append(
-                    f"{path.name}: module-level {ctor}() store "
-                    f"(assigned to {names or '?'})"
-                )
-    assert not offenders, (
+    findings = analyze(rule_names_=["cache-globals"])
+    assert not findings, (
         "module-level cache globals are retired; own state in "
-        "PlannerCaches instead:\n  " + "\n  ".join(offenders)
+        "PlannerCaches instead:\n  "
+        + "\n  ".join(f.format() for f in findings)
     )
+
+
+def test_gate_runs_through_the_shared_engine():
+    """No duplicated AST walker: this module delegates to
+    :mod:`repro.analysis` instead of importing :mod:`ast` itself."""
+    assert "ast" not in globals()
 
 
 def test_default_caches_is_the_only_module_state():

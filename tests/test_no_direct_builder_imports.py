@@ -3,97 +3,36 @@
 The ScheduleFamily refactor routed every consumer (planner, baselines,
 harness) through :func:`repro.schedule.get_family`; the builder modules
 (``repro.schedule.onef1b`` etc.) and their ``build_*`` functions are an
-implementation detail of the ``schedule`` package.  This test walks the
-ASTs of every module in ``repro`` outside ``repro/schedule/`` and fails
-on any import of a builder module or builder function, so a future
-change cannot quietly bypass the registry (and with it the planner's
-``--schedule`` plumbing, cache identity and memory-window dispatch).
+implementation detail of the ``schedule`` package.  The AST walk that
+used to live here is now the ``registry-bypass`` rule of the shared
+:mod:`repro.analysis` engine; this test is a thin wrapper so the gate
+and ``repro analyze`` can never drift apart.
 """
 
 from __future__ import annotations
 
-import ast
-from pathlib import Path
-
-import repro
-
-SRC_DIR = Path(repro.__file__).parent
-SCHEDULE_DIR = SRC_DIR / "schedule"
-
-#: builder submodules of repro.schedule — private to the package
-BUILDER_MODULES = {
-    "onef1b", "gpipe", "bidirectional", "interleaved", "zerobubble",
-}
-#: the builder entry points those modules define
-BUILDER_NAMES = {
-    "build_1f1b",
-    "build_gpipe",
-    "build_bidirectional",
-    "build_interleaved",
-    "build_zerobubble",
-}
-
-
-def _is_builder_module(module: str | None) -> bool:
-    """True for ``repro.schedule.<builder>`` in any spelling (absolute
-    or relative: ``..schedule.gpipe`` parses as module ``schedule.gpipe``).
-    Requires the ``schedule`` parent so e.g. ``baselines.gpipe`` — a
-    different module that happens to share a builder's name — passes."""
-    if not module:
-        return False
-    parts = module.split(".")
-    return (
-        len(parts) >= 2
-        and parts[-2] == "schedule"
-        and parts[-1] in BUILDER_MODULES
-    )
-
-
-def _offences(path: Path) -> list[str]:
-    out = []
-    tree = ast.parse(path.read_text(), filename=str(path))
-    for node in ast.walk(tree):
-        if isinstance(node, ast.ImportFrom):
-            # ``from ..schedule.onef1b import ...`` / absolute spelling
-            if _is_builder_module(node.module):
-                out.append(
-                    f"{path.name}:{node.lineno}: imports builder module "
-                    f"{node.module!r}"
-                )
-            # ``from ..schedule import build_1f1b``
-            for alias in node.names:
-                if alias.name in BUILDER_NAMES:
-                    out.append(
-                        f"{path.name}:{node.lineno}: imports builder "
-                        f"{alias.name!r}"
-                    )
-        elif isinstance(node, ast.Import):
-            # ``import repro.schedule.onef1b``
-            for alias in node.names:
-                if _is_builder_module(alias.name):
-                    out.append(
-                        f"{path.name}:{node.lineno}: imports builder module "
-                        f"{alias.name!r}"
-                    )
-    return out
+from repro.analysis import analyze
+from repro.analysis.rules.registry_bypass import BUILDER_MODULES
 
 
 def test_no_builder_imports_outside_schedule_package():
-    offenders = []
-    for path in sorted(SRC_DIR.rglob("*.py")):
-        if SCHEDULE_DIR in path.parents:
-            continue
-        offenders.extend(_offences(path))
-    assert not offenders, (
+    findings = analyze(rule_names_=["registry-bypass"])
+    assert not findings, (
         "schedule builders must be reached via the registry "
         "(repro.schedule.get_family); direct imports found:\n  "
-        + "\n  ".join(offenders)
+        + "\n  ".join(f.format() for f in findings)
     )
 
 
+def test_gate_runs_through_the_shared_engine():
+    """No duplicated AST walker: this module delegates to
+    :mod:`repro.analysis` instead of importing :mod:`ast` itself."""
+    assert "ast" not in globals()
+
+
 def test_gate_matches_the_registry():
-    """The hardcoded builder lists cover every registered family, so a
-    new family cannot be added without extending the gate."""
+    """The rule's hardcoded builder list covers every registered family,
+    so a new family cannot be added without extending the gate."""
     from repro.schedule import SCHEDULE_FAMILIES
 
-    assert set(SCHEDULE_FAMILIES) == BUILDER_MODULES
+    assert set(SCHEDULE_FAMILIES) == set(BUILDER_MODULES)

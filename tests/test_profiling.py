@@ -2,9 +2,7 @@
 
 import pytest
 
-from repro.cluster import single_node
 from repro.errors import ConfigurationError, ProfileError
-from repro.models.zoo import uniform_model
 from repro.profiling import DEFAULT_BATCH_GRID, LayerProfile, ProfileDB, Profiler
 
 from .conftest import make_synthetic_db

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.cluster import CollectiveModel, CommCosts, a100_80gb, single_node
+from repro.cluster import CollectiveModel, CommCosts, single_node
 from repro.core import (
     CDMPartitionContext,
     PartitionContext,

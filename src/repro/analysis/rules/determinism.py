@@ -12,18 +12,23 @@ while passing every functional test, so ``core/``, ``schedule/`` and
   a timestamp that reaches a plan, a memo key or a serialized report
   differs on every run.  (The service layer measures latency with
   ``perf_counter`` — telemetry, not plan content — and is out of scope.)
-* **unseeded randomness** — module-level ``random.*`` draws from
-  process-global state; construct a seeded ``random.Random(seed)`` (or
-  ``np.random.default_rng(seed)``) instead.
+* **unseeded randomness** — module-level ``random.*`` and
+  ``np.random.*`` draws share process-global state; construct a seeded
+  ``random.Random(seed)`` or ``np.random.default_rng(seed)`` instead.
+  A bare ``np.random.default_rng()`` is equally banned: with no seed it
+  pulls OS entropy, so two workers building "the same" plan disagree.
 * **``id()``** — CPython addresses differ across processes; an ``id()``
   in a sort key or cache key reorders output between the service's
   workers and the coordinator.
 * **set iteration feeding ordered output** — ``for x in set(...)``,
   ``list(set(...))``, ``tuple(...)``/``enumerate(...)``/``.join(...)``
   over a set, or a list comprehension over one: with string keys the
-  order depends on the per-process hash seed.  ``sorted(set(...))`` is
-  the deterministic spelling and is not flagged; for order-preserving
-  dedup use ``dict.fromkeys(...)``.
+  order depends on the per-process hash seed.  Array construction is
+  the same bug with a numpy spelling — ``np.array(...)`` /
+  ``np.asarray(...)`` / ``np.fromiter(...)`` over a set bakes hash-seed
+  order into element positions, and every vectorised consumer downstream
+  inherits it.  ``sorted(set(...))`` is the deterministic spelling and
+  is not flagged; for order-preserving dedup use ``dict.fromkeys(...)``.
 """
 
 from __future__ import annotations
@@ -47,6 +52,18 @@ CLOCKS = {
 #: ``min``/``max`` are order-insensitive and deliberately absent)
 ORDERING_CALLS = frozenset({"list", "tuple", "enumerate"})
 
+#: numpy array constructors whose element order is the iteration order
+#: of their first argument
+NP_ARRAY_CALLS = frozenset({"array", "asarray", "fromiter"})
+
+#: the conventional and the canonical spelling of the numpy module
+NUMPY_NAMES = frozenset({"np", "numpy"})
+
+#: seeded-generator machinery allowed under ``np.random`` — everything
+#: else there (``rand``, ``shuffle``, ``seed``, ...) is a draw from, or
+#: a mutation of, numpy's process-global legacy state
+NP_RANDOM_ALLOWED = frozenset({"default_rng", "Generator", "SeedSequence"})
+
 
 def _is_set_expr(node: ast.expr) -> bool:
     """A value of set type, syntactically: ``set(...)``/``frozenset(...)``
@@ -57,6 +74,16 @@ def _is_set_expr(node: ast.expr) -> bool:
         isinstance(node, ast.Call)
         and isinstance(node.func, ast.Name)
         and node.func.id in ("set", "frozenset")
+    )
+
+
+def _is_np_random(node: ast.expr) -> bool:
+    """The expression ``np.random`` / ``numpy.random``, syntactically."""
+    return (
+        isinstance(node, ast.Attribute)
+        and node.attr == "random"
+        and isinstance(node.value, ast.Name)
+        and node.value.id in NUMPY_NAMES
     )
 
 
@@ -73,6 +100,7 @@ class DeterminismRule:
     def check(self, src: ModuleSource) -> Iterator[Finding]:
         for node in ast.walk(src.tree):
             yield from self._clocks_and_random(src, node)
+            yield from self._np_random(src, node)
             yield from self._id_calls(src, node)
             yield from self._set_ordering(src, node)
 
@@ -101,6 +129,45 @@ class DeterminismRule:
                 "importing from the random module pulls process-global "
                 "state; construct a seeded random.Random(seed) instead",
             )
+
+    # -- numpy randomness outside a seeded Generator -------------------------
+
+    def _np_random(self, src, node) -> Iterator[Finding]:
+        if isinstance(node, ast.Attribute) and _is_np_random(node.value):
+            if node.attr not in NP_RANDOM_ALLOWED:
+                yield src.finding(
+                    node, self.name,
+                    f"np.random.{node.attr} uses numpy's process-global "
+                    "legacy state; draw from a seeded "
+                    "np.random.default_rng(seed) Generator",
+                )
+        elif (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "default_rng"
+            and _is_np_random(node.func.value)
+            and not node.args
+            and not node.keywords
+        ):
+            yield src.finding(
+                node, self.name,
+                "np.random.default_rng() without a seed pulls OS entropy; "
+                "pass an explicit seed",
+            )
+        elif isinstance(node, ast.ImportFrom) and node.module == (
+            "numpy.random"
+        ):
+            bad = sorted(
+                a.name for a in node.names
+                if a.name not in NP_RANDOM_ALLOWED
+            )
+            if bad:
+                yield src.finding(
+                    node, self.name,
+                    f"importing {', '.join(bad)} from numpy.random pulls "
+                    "process-global state; use a seeded "
+                    "np.random.default_rng(seed) Generator",
+                )
 
     # -- id() as a key -------------------------------------------------------
 
@@ -143,8 +210,23 @@ class DeterminismRule:
                 and func.id in ORDERING_CALLS
             )
             join = isinstance(func, ast.Attribute) and func.attr == "join"
-            if (direct or join) and node.args and _is_set_expr(node.args[0]):
-                what = func.id if direct else "str.join"
+            np_ctor = (
+                isinstance(func, ast.Attribute)
+                and func.attr in NP_ARRAY_CALLS
+                and isinstance(func.value, ast.Name)
+                and func.value.id in NUMPY_NAMES
+            )
+            if (
+                (direct or join or np_ctor)
+                and node.args
+                and _is_set_expr(node.args[0])
+            ):
+                if direct:
+                    what = func.id
+                elif np_ctor:
+                    what = f"np.{func.attr}"
+                else:
+                    what = "str.join"
                 yield src.finding(
                     node, self.name,
                     f"{what}() over a set orders output by the "

@@ -12,6 +12,10 @@ Commands
     Compare DiffusionPipe against all baselines over a batch list.
 ``table1`` / ``table2``
     Print the profiling tables of §2.
+``bench``
+    Measure headline performance numbers (cold/warm DP table builds
+    under both engines, one sweep's wall-clock) and print them, or
+    emit stable-schema JSON with ``--json`` for CI artifacts.
 ``serve``
     Run the concurrent planning service (JSON lines over TCP).
 ``bench-serve``
@@ -143,6 +147,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
                 fill_strategy=args.fill_strategy,
                 lookahead_beam=args.lookahead_beam,
                 schedule=args.schedule,
+                dp_kernel=args.dp_kernel,
             ),
         )
         ev = planner.plan(args.batch)
@@ -205,6 +210,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         fill_strategy=args.fill_strategy,
         lookahead_beam=args.lookahead_beam,
         schedule=args.schedule,
+        dp_kernel=args.dp_kernel,
     )
     try:
         planner = DiffusionPipePlanner(model, cluster, profile, options=opts)
@@ -275,6 +281,17 @@ def cmd_table2(args: argparse.Namespace) -> int:
         rows.append(row)
     print(format_table(["Model / GPU count", "8", "16", "32", "64"], rows,
                        title="Table 2 - sync share of DDP iteration"))
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from .perf import format_bench, run_bench, write_json
+
+    report = run_bench(best_of=args.best_of, sweep=not args.skip_sweep)
+    print(format_bench(report))
+    if args.json:
+        write_json(report, args.json)
+        print(f"bench report written to {args.json}")
     return 0
 
 
@@ -408,6 +425,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pipeline schedule family; auto picks onef1b for "
                         "single-backbone models and bidirectional for "
                         "cascaded ones")
+    p.add_argument("--dp-kernel", default="array",
+                   choices=("array", "reference"),
+                   help="partition DP table-build engine: array (the "
+                        "vectorized numpy kernels, default) or reference "
+                        "(the pure-Python differential oracle); both are "
+                        "bit-identical")
     p.add_argument("--out", help="write the plan JSON here")
     p.add_argument("--trace", help="write a chrome trace here")
     p.set_defaults(func=cmd_plan)
@@ -437,7 +460,24 @@ def build_parser() -> argparse.ArgumentParser:
                    help="pipeline schedule family; auto picks onef1b for "
                         "single-backbone models and bidirectional for "
                         "cascaded ones")
+    p.add_argument("--dp-kernel", default="array",
+                   choices=("array", "reference"),
+                   help="partition DP table-build engine: array (the "
+                        "vectorized numpy kernels, default) or reference "
+                        "(the pure-Python differential oracle); both are "
+                        "bit-identical")
     p.set_defaults(func=cmd_sweep)
+
+    p = sub.add_parser("bench",
+                       help="measure headline performance numbers")
+    p.add_argument("--best-of", type=int, default=3,
+                   help="runs per timing point; floors are reported")
+    p.add_argument("--skip-sweep", action="store_true",
+                   help="only time table builds (skip the planner sweep)")
+    p.add_argument("--json", metavar="PATH",
+                   help="also write the report as stable-schema JSON "
+                        "(repro-bench/1) for CI artifacts")
+    p.set_defaults(func=cmd_bench)
 
     sub.add_parser("table1", help="print Table 1").set_defaults(func=cmd_table1)
     sub.add_parser("table2", help="print Table 2").set_defaults(func=cmd_table2)

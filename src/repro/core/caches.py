@@ -51,6 +51,7 @@ HET_CACHE_MAX_TABLES = 256
 CDM_CACHE_MAX_TABLES = 256
 CDM_HET_CACHE_MAX_TABLES = 256
 PREFIX_CACHE_MAX = 8192
+KERNEL_PLAN_CACHE_MAX = 256
 
 SNAPSHOT_MAGIC = "repro-planner-caches"
 SNAPSHOT_VERSION = 1
@@ -233,6 +234,14 @@ class PlannerCaches:
         batches share one simulation.
     ``fills``
         the lookahead :class:`FillShapeCache`.
+    ``kernel_plans``
+        geometry-only transition plans of the array DP kernels
+        (:mod:`repro.core.partition_kernels`): per-stage batch index
+        arrays keyed by lattice geometry alone, so adjacent
+        stage-local batches in a sweep re-scale shared cut-grid
+        segment arrays instead of re-enumerating them.
+        Profile-independent (plain :class:`LruStore`) and deliberately
+        not snapshotted: plans rebuild in microseconds.
 
     ``partition``, ``evals`` and ``timelines`` are bounded LRUs:
     re-profiling strands their weak-keyed entries, and their values pin
@@ -251,6 +260,7 @@ class PlannerCaches:
         cdm_tables: int = CDM_CACHE_MAX_TABLES,
         cdm_het_tables: int = CDM_HET_CACHE_MAX_TABLES,
         prefix_max: int = PREFIX_CACHE_MAX,
+        kernel_plan_max: int = KERNEL_PLAN_CACHE_MAX,
         fills: FillShapeCache | None = None,
     ):
         self.partition = LruStore(partition_max, name="partition")
@@ -261,6 +271,7 @@ class PlannerCaches:
         self.cdm = ProfileKeyedStore(cdm_tables, name="cdm")
         self.cdm_het = ProfileKeyedStore(cdm_het_tables, name="cdm_het")
         self.prefixes = ProfileKeyedStore(prefix_max, name="prefixes")
+        self.kernel_plans = LruStore(kernel_plan_max, name="kernel_plans")
         self.timelines = LruStore(timeline_max, name="timelines")
         self.fills = fills if fills is not None else FillShapeCache()
 
@@ -284,6 +295,7 @@ class PlannerCaches:
         self.cdm.clear()
         self.cdm_het.clear()
         self.prefixes.clear()
+        self.kernel_plans.clear()
         self.timelines.clear()
         self.fills.clear()
         for profile in profiles:
@@ -300,6 +312,7 @@ class PlannerCaches:
             self.cdm.stats(),
             self.cdm_het.stats(),
             self.prefixes.stats(),
+            self.kernel_plans.stats(),
             self.timelines.stats(),
             *self.fills.stats(),
         ]

@@ -958,7 +958,21 @@ class LookaheadFill:
         )
         cap = min(filler.max_candidates, self.max_candidates)
         init = ctx.initial_key()
-        shape = tuple((b.duration, b.weight) for _, b in ordered)
+        # Shape identity of the timeline's bubbles.  A positive quantum
+        # snaps durations to a grid so near-identical timelines (e.g.
+        # adjacent M values whose bubbles differ by microseconds) share
+        # cache entries; weights are integral device counts and pass
+        # through unchanged.  At quantum 0 the key holds the exact
+        # durations — bit-identical caching.  Replays always re-bind to
+        # the actual bubbles, so quantisation never perturbs the
+        # returned report's arithmetic, only which searches are skipped.
+        q = filler.shape_quantum
+        if q > 0.0:
+            shape = tuple(
+                (round(b.duration / q) * q, b.weight) for _, b in ordered
+            )
+        else:
+            shape = tuple((b.duration, b.weight) for _, b in ordered)
 
         cache = filler.fill_cache
         ckey = None
@@ -989,6 +1003,11 @@ class LookaheadFill:
                 # coincide across families, and keeping the identities
                 # apart makes hit statistics attributable per family.
                 filler.schedule,
+                # The duration grid the shape keys were snapped to:
+                # entries written under one quantum must never be read
+                # under another (a coarse key would otherwise shadow an
+                # exact one).
+                filler.shape_quantum,
             )
             ckey = (ident, beam_cap, narrow, leftover_devices, init)
             final = cache.finals.get((ckey, shape))

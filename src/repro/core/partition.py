@@ -302,6 +302,7 @@ def partition_backbone(
     *,
     heterogeneous: bool = False,
     caches: PlannerCaches | None = None,
+    dp_kernel: str = "array",
 ) -> PartitionPlan:
     """Optimally cut one backbone into ``num_stages`` stages (§4.1/§4.3).
 
@@ -311,6 +312,12 @@ def partition_backbone(
     ``heterogeneous=True`` the per-stage replica count is free and the
     remaining-device count joins the state (Eqns. 7-9).  ``caches``
     holds the memoised DP tables (the process-wide default when None).
+
+    ``dp_kernel`` selects the table-build engine: ``"array"`` (the
+    vectorized numpy kernels of :mod:`.partition_kernels`) or
+    ``"reference"`` (the pure-Python differential oracles).  Both
+    produce bit-identical tables and plans; the knob exists for
+    debugging and for the differential test suite.
     """
     caches = caches if caches is not None else default_caches()
     S = num_stages
@@ -327,7 +334,7 @@ def partition_backbone(
         raise PartitionError(f"cannot place {S} stages on {D} devices")
 
     if heterogeneous:
-        return _partition_heterogeneous(ctx, S, D, caches)
+        return _partition_heterogeneous(ctx, S, D, caches, dp_kernel=dp_kernel)
 
     if D % S != 0:
         raise PartitionError(
@@ -345,7 +352,9 @@ def partition_backbone(
             f"uniform replication r={r} needs at least {r} samples per "
             f"micro-batch (got {ctx.micro_batch:g})"
         )
-    plan_stages, w, w_sc, y, obj = _solve_chain(ctx, r, L, S, caches)
+    plan_stages, w, w_sc, y, obj = _solve_chain(
+        ctx, r, L, S, caches, dp_kernel=dp_kernel
+    )
     stages = tuple(
         StageAssignment(ctx.component, lo, hi, replicas=r) for lo, hi in plan_stages
     )
@@ -392,18 +401,27 @@ def _objective(
 
 
 def _chain_frontiers(
-    ctx: PartitionContext, r: int, L: int, S: int, caches: PlannerCaches
-) -> tuple[list[list[list[tuple]]], float]:
+    ctx: PartitionContext,
+    r: int,
+    L: int,
+    S: int,
+    caches: PlannerCaches,
+    *,
+    dp_kernel: str = "array",
+) -> tuple[list[tuple[tuple, ...]], float]:
     """The (memoized) Pareto-DP table of :func:`_solve_chain`.
 
     Returns ``(history, tf)``.  ``history[s][l]`` is the frontier of
     (w, w_sc, y, cut, parent_index) for prefixes of ``l`` layers in
     ``s`` stages; the first three values are objective coordinates,
-    cut/parent enable backtracking.  Entries are immutable: callers
-    must only read them.  ``tf`` is the feedback time ``T_F`` (0.0
-    without self-conditioning), computed with the table while the
-    :class:`StageCosts` are warm.  The key is derived arithmetically —
-    the O(L) prefix sums are built only on a cache miss.
+    cut/parent enable backtracking.  Frontier cells are frozen to
+    tuples before caching, so the read-only contract is enforced by
+    the engine: a caller mutating a local copy of a frontier must copy
+    it first and cannot corrupt the cached table.  ``tf`` is the
+    feedback time ``T_F`` (0.0 without self-conditioning), computed
+    with the table while the :class:`StageCosts` are warm.  The key is
+    derived arithmetically — the O(L) prefix sums are built only on a
+    cache miss.
 
     Tables live in ``caches.chains``, keyed weakly by the profile so
     sweeps sharing one DB (planner + SPP + ablation variants) share
@@ -412,6 +430,12 @@ def _chain_frontiers(
     size, the communication constants, the self-conditioning flag) —
     notably *not* on the micro-batch count M or the self-conditioning
     probability, which enter only the final objective selection.
+
+    ``dp_kernel`` picks the build engine (``"array"`` — the vectorized
+    kernels — or the pure-Python ``"reference"`` oracle).  The engines
+    are bit-identical by contract; the key still carries the knob so
+    tables never alias across engines and a differential run exercises
+    both builders.
     """
     key = (
         ctx.component,
@@ -430,11 +454,38 @@ def _chain_frontiers(
         # for the ramp bound, so its tables must not alias the default
         # ones (all non-splitting families share "default" tables).
         ctx.zb_pricing,
+        dp_kernel,
     )
     cached = caches.chains.get(ctx.profile, key)
     if cached is not None:
         return cached
 
+    if dp_kernel == "array":
+        from . import partition_kernels
+
+        history, tf = partition_kernels.chain_table_array(ctx, r, L, S)
+    elif dp_kernel == "reference":
+        history, tf = _chain_frontiers_reference(ctx, r, L, S)
+    else:
+        raise ConfigurationError(
+            f"unknown dp_kernel {dp_kernel!r}; "
+            "expected 'array' or 'reference'"
+        )
+    history = [tuple(tuple(cell) for cell in row) for row in history]
+    cached = (history, tf)
+    caches.chains.put(ctx.profile, key, cached)
+    return cached
+
+
+def _chain_frontiers_reference(
+    ctx: PartitionContext, r: int, L: int, S: int
+) -> tuple[list[list[list[tuple]]], float]:
+    """Pure-Python differential oracle of :func:`_chain_frontiers`.
+
+    Retained verbatim as the bit-identity ground truth for the array
+    kernels (the ``simulate_reference`` discipline); selected via
+    ``dp_kernel="reference"``.
+    """
     costs = StageCosts(ctx, r)
     prev: list[list[tuple]] = [[] for _ in range(L + 1)]
     prev[0] = [(0.0, 0.0, float("-inf"), -1, -1)]
@@ -479,19 +530,23 @@ def _chain_frontiers(
     # selection would otherwise rebuild the O(L) prefix sums on every
     # warm-path call just for this one value.
     tf = costs.feedback_ms() if ctx.self_conditioning else 0.0
-    cached = (history, tf)
-    caches.chains.put(ctx.profile, key, cached)
-    return cached
+    return history, tf
 
 
 def _solve_chain(
-    ctx: PartitionContext, r: int, L: int, S: int, caches: PlannerCaches
+    ctx: PartitionContext,
+    r: int,
+    L: int,
+    S: int,
+    caches: PlannerCaches,
+    *,
+    dp_kernel: str = "array",
 ) -> tuple[list[tuple[int, int]], float, float, float, float]:
     """Pareto DP over prefixes for a fixed replica count.
 
     Returns (stage slices, W, W_sc, Y, objective).
     """
-    history, tf = _chain_frontiers(ctx, r, L, S, caches)
+    history, tf = _chain_frontiers(ctx, r, L, S, caches, dp_kernel=dp_kernel)
     final = history[S][L]
     if not final:
         raise PartitionError(
@@ -538,8 +593,14 @@ class _LazyStageCosts:
 
 
 def _het_frontiers(
-    ctx: PartitionContext, L: int, S: int, D: int, caches: PlannerCaches
-) -> tuple[list[dict[tuple[int, int], list[tuple]]], dict[int, float]]:
+    ctx: PartitionContext,
+    L: int,
+    S: int,
+    D: int,
+    caches: PlannerCaches,
+    *,
+    dp_kernel: str = "array",
+) -> tuple[list[dict[tuple, tuple[tuple, ...]]], dict[int, float]]:
     """The (memoized) Pareto-DP table of :func:`_partition_heterogeneous`.
 
     Returns ``(history, tf_by_r)``.  ``history[s][(l, d)]`` is the
@@ -547,12 +608,13 @@ def _het_frontiers(
     prefixes of ``l`` layers on ``d`` devices in ``s`` stages — except
     the last stage, whose buckets are keyed ``(l, d, r)`` so that the
     r-dependent feedback term cannot be pruned away by (w, w_sc, y)
-    dominance.  Entries are immutable and callers must only read them.
-    ``tf_by_r`` maps every last-stage replica count to its feedback time
-    ``T_F`` (empty without self-conditioning); it is computed with the
-    table — while the per-``r`` ``StageCosts`` are warm — and cached
-    alongside it, so neither cold nor hit paths rebuild O(L) prefix sums
-    for the final selection.
+    dominance.  Frontiers are frozen to tuples before caching, so the
+    read-only contract is engine-enforced.  ``tf_by_r`` maps every
+    last-stage replica count to its feedback time ``T_F`` (empty
+    without self-conditioning); it is computed with the table — while
+    the per-``r`` ``StageCosts`` are warm — and cached alongside it, so
+    neither cold nor hit paths rebuild O(L) prefix sums for the final
+    selection.
 
     Tables live in ``caches.het``: the ``(layers, stages, devices)``
     Pareto tables depend only on (component, L, S, D, the per-group
@@ -561,7 +623,8 @@ def _het_frontiers(
     self-conditioning probability, which enter only the final objective
     selection — so sweeps sharing one DB (planner + SPP + ablation
     variants via one :class:`PlannerCaches`) share the expensive DP
-    work, and the tables die with the profile.
+    work, and the tables die with the profile.  ``dp_kernel`` joins the
+    key so array and reference tables never alias.
     """
     key = (
         ctx.component,
@@ -578,11 +641,40 @@ def _het_frontiers(
         # See _chain_frontiers: zero-bubble tables carry the ramp bound
         # in the second coordinate and must not alias default ones.
         ctx.zb_pricing,
+        dp_kernel,
     )
     cached = caches.het.get(ctx.profile, key)
     if cached is not None:
         return cached
 
+    if dp_kernel == "array":
+        from . import partition_kernels
+
+        history, tf_by_r = partition_kernels.het_table_array(ctx, L, S, D)
+    elif dp_kernel == "reference":
+        history, tf_by_r = _het_frontiers_reference(ctx, L, S, D)
+    else:
+        raise ConfigurationError(
+            f"unknown dp_kernel {dp_kernel!r}; "
+            "expected 'array' or 'reference'"
+        )
+    history = [
+        {state: tuple(entries) for state, entries in stage.items()}
+        for stage in history
+    ]
+    cached = (history, tf_by_r)
+    caches.het.put(ctx.profile, key, cached)
+    return cached
+
+
+def _het_frontiers_reference(
+    ctx: PartitionContext, L: int, S: int, D: int
+) -> tuple[list[dict[tuple, list[tuple]]], dict[int, float]]:
+    """Pure-Python differential oracle of :func:`_het_frontiers`.
+
+    Retained verbatim as the bit-identity ground truth for the array
+    kernels; selected via ``dp_kernel="reference"``.
+    """
     costs_for = _LazyStageCosts(ctx)
     #: per-(r, lo, hi) segment costs — distinct parent states reach the
     #: same stage slice, so the interpolation work is shared.
@@ -662,13 +754,16 @@ def _het_frontiers(
             if r not in tf_by_r:
                 tf_by_r[r] = costs_for(r).feedback_ms()
 
-    cached = (history, tf_by_r)
-    caches.het.put(ctx.profile, key, cached)
-    return cached
+    return history, tf_by_r
 
 
 def _partition_heterogeneous(
-    ctx: PartitionContext, S: int, D: int, caches: PlannerCaches
+    ctx: PartitionContext,
+    S: int,
+    D: int,
+    caches: PlannerCaches,
+    *,
+    dp_kernel: str = "array",
 ) -> PartitionPlan:
     """General DP with per-stage replica counts (Eqns. 7-9).
 
@@ -680,7 +775,7 @@ def _partition_heterogeneous(
     M-dependent objective selection runs per call.
     """
     L = ctx.profile.num_layers(ctx.component)
-    history, tf_by_r = _het_frontiers(ctx, L, S, D, caches)
+    history, tf_by_r = _het_frontiers(ctx, L, S, D, caches, dp_kernel=dp_kernel)
 
     # Accept any full assignment that uses all L layers; devices may be
     # partially used but using all of them never hurts, so prefer d = D.

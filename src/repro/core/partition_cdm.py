@@ -146,7 +146,9 @@ def _cdm_dp_table(
     D: int,
     r_cap: int,
     fixed_r: int | None,
-) -> list[dict[tuple[int, int, int], list[tuple]]]:
+    dp_kernel: str = "array",
+    plans=None,
+) -> list[dict[tuple[int, int, int], tuple[tuple, ...]]]:
     """Shared DP engine for both replication flavours.
 
     ``frontiers[k][(a, b, d)]`` is the Pareto set of
@@ -157,7 +159,57 @@ def _cdm_dp_table(
     ``fixed_r`` pins every position to one count (uniform replication;
     the device coordinate is then deterministic); ``fixed_r=None`` lets
     each position choose ``r`` within the device budget and ``r_cap``.
-    Entries are immutable: callers must only read them.
+    Frontiers are frozen to tuples, so the read-only contract is
+    engine-enforced.
+
+    ``dp_kernel`` dispatches between the vectorized numpy engine
+    (:func:`~.partition_kernels.cdm_table_array`, bit-identical by
+    contract and differential test) and the pure-Python
+    :func:`_cdm_dp_table_reference` oracle.  ``plans`` is an optional
+    store of geometry transition plans the array engine shares across
+    adjacent stage-local batches in a sweep
+    (``PlannerCaches.kernel_plans``).
+    """
+    if dp_kernel == "array":
+        from . import partition_kernels
+
+        frontiers = partition_kernels.cdm_table_array(
+            ctx, S, cut_step=cut_step, max_frontier=max_frontier,
+            ld=ld, lu=lu, D=D, r_cap=r_cap, fixed_r=fixed_r, plans=plans,
+        )
+    elif dp_kernel == "reference":
+        frontiers = _cdm_dp_table_reference(
+            ctx, S, cut_step=cut_step, max_frontier=max_frontier,
+            ld=ld, lu=lu, D=D, r_cap=r_cap, fixed_r=fixed_r,
+        )
+    else:
+        raise ConfigurationError(
+            f"unknown dp_kernel {dp_kernel!r}; "
+            "expected 'array' or 'reference'"
+        )
+    return [
+        {state: tuple(entries) for state, entries in stage.items()}
+        for stage in frontiers
+    ]
+
+
+def _cdm_dp_table_reference(
+    ctx: CDMPartitionContext,
+    S: int,
+    *,
+    cut_step: int,
+    max_frontier: int,
+    ld: int,
+    lu: int,
+    D: int,
+    r_cap: int,
+    fixed_r: int | None,
+) -> list[dict[tuple[int, int, int], list[tuple]]]:
+    """Pure-Python differential oracle of :func:`_cdm_dp_table`.
+
+    Retained verbatim as the bit-identity ground truth for the array
+    kernel (the ``simulate_reference`` discipline); selected via
+    ``dp_kernel="reference"``.
     """
     eval_d = _seg_eval(_lazy_scaled_costs(ctx.down, ctx.comm_scale))
     eval_u = _seg_eval(_lazy_scaled_costs(ctx.up, ctx.comm_scale))
@@ -248,7 +300,8 @@ def _cdm_frontiers(
     max_frontier: int,
     ld: int,
     lu: int,
-) -> list[dict[tuple[int, int, int], list[tuple]]]:
+    dp_kernel: str = "array",
+) -> list[dict[tuple[int, int, int], tuple[tuple, ...]]]:
     """The (memoized) uniform-replication CDM DP table.
 
     A :func:`_cdm_dp_table` run with every position pinned to ``r``
@@ -284,6 +337,9 @@ def _cdm_frontiers(
         # today, but the contexts carry the field, so the key does too.
         ctx.down.pricing,
         ctx.up.pricing,
+        # Engines are bit-identical by contract, but tables must still
+        # never alias across them (differential runs build both).
+        dp_kernel,
     )
     if cacheable:
         cached = caches.cdm.get(ctx.down.profile, key)
@@ -292,6 +348,7 @@ def _cdm_frontiers(
     frontiers = _cdm_dp_table(
         ctx, S, cut_step=cut_step, max_frontier=max_frontier, ld=ld, lu=lu,
         D=S * r, r_cap=r, fixed_r=r,
+        dp_kernel=dp_kernel, plans=caches.kernel_plans,
     )
     if cacheable:
         caches.cdm.put(ctx.down.profile, key, frontiers)
@@ -308,7 +365,8 @@ def _cdm_het_frontiers(
     max_frontier: int,
     ld: int,
     lu: int,
-) -> list[dict[tuple[int, int, int], list[tuple]]]:
+    dp_kernel: str = "array",
+) -> list[dict[tuple[int, int, int], tuple[tuple, ...]]]:
     """The (memoized) heterogeneous CDM DP table (Eqns. 7-9 applied to
     the bidirectional objective).
 
@@ -338,6 +396,7 @@ def _cdm_het_frontiers(
         max_frontier,
         ctx.down.pricing,
         ctx.up.pricing,
+        dp_kernel,
     )
     if cacheable:
         cached = caches.cdm_het.get(ctx.down.profile, key)
@@ -352,6 +411,7 @@ def _cdm_het_frontiers(
     frontiers = _cdm_dp_table(
         ctx, S, cut_step=cut_step, max_frontier=max_frontier, ld=ld, lu=lu,
         D=D, r_cap=r_cap, fixed_r=None,
+        dp_kernel=dp_kernel, plans=caches.kernel_plans,
     )
     if cacheable:
         caches.cdm_het.put(ctx.down.profile, key, frontiers)
@@ -451,6 +511,7 @@ def partition_cdm(
     max_frontier: int = 8,
     heterogeneous: bool = False,
     caches: PlannerCaches | None = None,
+    dp_kernel: str = "array",
 ) -> PartitionPlan:
     """Optimal bidirectional partition of two backbones (Eqns. 13-16).
 
@@ -490,7 +551,7 @@ def partition_cdm(
     if heterogeneous:
         frontiers = _cdm_het_frontiers(
             ctx, S, D, caches, cut_step=cut_step, max_frontier=max_frontier,
-            ld=ld, lu=lu,
+            ld=ld, lu=lu, dp_kernel=dp_kernel,
         )
         return _cdm_select_plan(
             ctx, S, D, frontiers, ld, lu, replicas=None
@@ -512,7 +573,7 @@ def partition_cdm(
         )
     frontiers = _cdm_frontiers(
         ctx, S, r, caches, cut_step=cut_step, max_frontier=max_frontier,
-        ld=ld, lu=lu,
+        ld=ld, lu=lu, dp_kernel=dp_kernel,
     )
     return _cdm_select_plan(ctx, S, D, frontiers, ld, lu, replicas=r)
 

@@ -91,6 +91,20 @@ class PlannerOptions:
     #: stage-boundary granularity for the (quadratic) CDM partitioner;
     #: 1 = exact, 2 halves the transition space for long backbones
     cdm_cut_step: int = 2
+    #: DP table-build engine: ``"array"`` — the vectorized numpy
+    #: kernels of :mod:`repro.core.partition_kernels` (bit-identical
+    #: tables, the default) — or ``"reference"`` — the pure-Python
+    #: folds they are differentially tested against (see README
+    #: "Array-kernel DPs").  Part of every partition cache key, so
+    #: tables built by different engines never alias.
+    dp_kernel: str = "array"
+    #: quantum (ms) for rounding bubble durations in the lookahead
+    #: fill's shape-cache keys; 0.0 (the default) keys on exact shapes
+    #: and is bit-identical to not caching by shape at all.  A coarse
+    #: quantum trades exactness of the *cache key* (never of the
+    #: replayed plan's arithmetic) for warm hits across near-identical
+    #: timelines.
+    fill_shape_quantum: float = 0.0
 
     def __post_init__(self) -> None:
         if self.max_stages < 2:
@@ -115,6 +129,15 @@ class PlannerOptions:
             raise ConfigurationError(
                 "virtual_stages must be at least 2 (one chunk per device "
                 "is plain 1F1B — use schedule='onef1b')"
+            )
+        if self.dp_kernel not in ("array", "reference"):
+            raise ConfigurationError(
+                f"unknown dp_kernel {self.dp_kernel!r}; "
+                "choose 'array' or 'reference'"
+            )
+        if self.fill_shape_quantum < 0:
+            raise ConfigurationError(
+                "fill_shape_quantum must be non-negative"
             )
 
 
@@ -439,6 +462,11 @@ class DiffusionPipePlanner:
             self.model.backbone_names,
             self.options.heterogeneous_replication,
             self.options.cdm_cut_step,
+            # Both engines produce bit-identical plans, but the knob
+            # keys the entry anyway: a mismatch would otherwise be
+            # invisible, and the differential suite relies on the two
+            # engines never aliasing each other's tables or plans.
+            self.options.dp_kernel,
             self._partition_mode,
         )
         partitions = self.caches.partition
@@ -512,6 +540,7 @@ class DiffusionPipePlanner:
                 plan = partition_backbone(
                     ctx, S * v, D * v, heterogeneous=False,
                     caches=self.caches,
+                    dp_kernel=self.options.dp_kernel,
                 )
                 return replace(plan, group_size=D)
             return partition_backbone(
@@ -520,6 +549,7 @@ class DiffusionPipePlanner:
                 D,
                 heterogeneous=self.options.heterogeneous_replication,
                 caches=self.caches,
+                dp_kernel=self.options.dp_kernel,
             )
         ctx_down = PartitionContext(
             profile=self.profile,
@@ -539,6 +569,7 @@ class DiffusionPipePlanner:
             cut_step=self.options.cdm_cut_step,
             heterogeneous=self.options.heterogeneous_replication,
             caches=self.caches,
+            dp_kernel=self.options.dp_kernel,
         )
 
     def _stage_execs(
@@ -657,6 +688,7 @@ class DiffusionPipePlanner:
             opts.lookahead_beam,
             opts.min_bubble_ms,
             opts.partial_batch_menu,
+            opts.fill_shape_quantum,
             # The schedule family the timeline is built under; the
             # chunk granularity is already encoded in partition.down.
             self.schedule,
@@ -773,6 +805,7 @@ class DiffusionPipePlanner:
                 fill_cache=self.caches.fills,
                 caches=self.caches,
                 schedule=self.schedule,
+                shape_quantum=self.options.fill_shape_quantum,
             )
             fill = filler.fill(bubbles, leftover_devices=partition.group_size)
 

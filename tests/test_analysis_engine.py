@@ -223,6 +223,67 @@ def test_determinism_scope_excludes_service(tmp_path):
     assert findings == []
 
 
+def test_determinism_fires_on_numpy_global_randomness(tmp_path):
+    findings = run(tmp_path, "core/rng.py", """\
+        import numpy as np
+        from numpy.random import shuffle
+
+        def noise(n):
+            return np.random.rand(n)
+
+        def reseed():
+            np.random.seed(0)
+
+        def entropy_rng():
+            return np.random.default_rng()
+        """, ["determinism"])
+    assert len(findings) == 4
+    assert {f.rule for f in findings} == {"determinism"}
+    msgs = [f.message for f in findings]
+    assert any("np.random.rand" in m for m in msgs)
+    assert any("np.random.seed" in m for m in msgs)
+    assert any("shuffle" in m and "numpy.random" in m for m in msgs)
+    assert any("without a seed" in m for m in msgs)
+
+
+def test_determinism_numpy_near_misses(tmp_path):
+    findings = run(tmp_path, "core/rng_ok.py", """\
+        import numpy as np
+        from numpy.random import Generator, SeedSequence
+
+        def rng(seed):
+            return np.random.default_rng(seed)
+
+        def rng_kw(seed):
+            return np.random.default_rng(seed=seed)
+
+        def typed(g: np.random.Generator):
+            return g
+
+        def dedup(xs):
+            return np.array(sorted(set(xs)))
+        """, ["determinism"])
+    assert findings == []
+
+
+def test_determinism_fires_on_array_construction_over_set(tmp_path):
+    findings = run(tmp_path, "core/arr.py", """\
+        import numpy as np
+
+        def build(xs):
+            return np.array(set(xs))
+
+        def build2(xs):
+            return np.asarray({x + 1 for x in xs})
+
+        def build3(xs):
+            return np.fromiter(frozenset(xs), dtype=float)
+        """, ["determinism"])
+    assert len(findings) == 3
+    assert all("hash seed" in f.message for f in findings)
+    assert [f.line for f in findings] == [4, 7, 10]
+
+
 # -- float-equality ---------------------------------------------------------
 
 

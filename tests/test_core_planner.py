@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core import DiffusionPipePlanner, PlannerOptions
+from repro.core.caches import PlannerCaches
 from repro.errors import ConfigurationError
 from repro.models.zoo import uniform_model
 
@@ -132,6 +133,25 @@ def test_planner_options_validation():
         PlannerOptions(max_stages=1)
     with pytest.raises(ConfigurationError):
         PlannerOptions(micro_batch_counts=())
+    with pytest.raises(ConfigurationError):
+        PlannerOptions(dp_kernel="simd")
+    with pytest.raises(ConfigurationError):
+        PlannerOptions(fill_shape_quantum=-0.5)
+
+
+def test_planner_engines_agree_end_to_end(uniform, uniform_profile, cluster8):
+    """The full planner sweep is bit-identical under both DP engines."""
+    plans = {}
+    for kern in ("array", "reference"):
+        planner = DiffusionPipePlanner(
+            uniform, cluster8, uniform_profile,
+            _options(dp_kernel=kern), caches=PlannerCaches(),
+        )
+        plans[kern] = planner.plan(64)
+    a, r = plans["array"], plans["reference"]
+    assert a.plan.throughput.hex() == r.plan.throughput.hex()
+    assert a.plan.iteration_ms.hex() == r.plan.iteration_ms.hex()
+    assert a.plan.partition == r.plan.partition
 
 
 def test_heterogeneous_flag_opens_non_divisible_configs(uniform, uniform_profile):

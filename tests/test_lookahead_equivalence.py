@@ -127,10 +127,12 @@ def tie_free_instances(draw):
     return comps, tag, specs
 
 
-def _fill(db, model, bubbles, strategy, *, partials=True, cache=None):
+def _fill(db, model, bubbles, strategy, *, partials=True, cache=None,
+          quantum=0.0):
     filler = BubbleFiller(
         db, model, batch=64, strategy=strategy,
         enable_partial_batch=partials, lookahead_beam=BEAM, fill_cache=cache,
+        shape_quantum=quantum,
     )
     report = filler.fill(bubbles, leftover_devices=2)
     return report, filler
@@ -258,6 +260,57 @@ def test_shape_cache_contexts_never_alias():
     assert cache.final_hits == 0 and cache.final_misses == 2
     _fill(db, model, bubbles, "lookahead", partials=False, cache=cache)
     assert cache.final_hits == 0 and cache.final_misses == 3
+
+
+def test_shape_quantum_zero_is_bit_identical_and_exact():
+    """``shape_quantum=0.0`` (the default) must change nothing: reports
+    match a quantum-less fill bit for bit, near-identical durations
+    still key separately (no false hits), and entries written under a
+    coarse quantum are invisible at quantum 0 (the quantum is part of
+    the context identity)."""
+    comps = {"c0": [(_entropy(k, 29.0), 0.0) for k in (337, 7919)]}
+    db, model, bubbles = _build(comps, "q0", [(17.0, 2), (23.0, 1)],
+                                scale=True)
+    plain, _ = _fill(db, model, bubbles, "lookahead")
+    cache = FillShapeCache()
+    exact, _ = _fill(db, model, bubbles, "lookahead", cache=cache,
+                     quantum=0.0)
+    assert exact == plain
+    # a microsecond-scale perturbation is a distinct exact key
+    nudged = [
+        Bubble(start=b.start, end=b.end + 1e-6,
+               devices=b.devices, weight=b.weight)
+        for b in bubbles
+    ]
+    _fill(db, model, nudged, "lookahead", cache=cache, quantum=0.0)
+    assert cache.final_hits == 0 and cache.final_misses == 2
+    # a coarse-quantum fill of the same bubbles must not read (or be
+    # read by) the exact entries
+    _fill(db, model, bubbles, "lookahead", cache=cache, quantum=1.0)
+    assert cache.final_hits == 0 and cache.final_misses == 3
+
+
+def test_shape_quantum_coarse_warm_hits_across_nudged_durations():
+    """At a coarse quantum, timelines whose bubble durations differ by
+    far less than the grid share one cache entry: the second fill is a
+    warm hit, and the replay re-binds to the *actual* bubbles, so its
+    report matches a cold search of those bubbles bit for bit."""
+    comps = {"c0": [(_entropy(k, 29.0), 0.0) for k in (11213, 7919)]}
+    db, model, bubbles = _build(comps, "qc", [(17.0, 2), (23.0, 1)],
+                                scale=True)
+    cache = FillShapeCache()
+    _fill(db, model, bubbles, "lookahead", cache=cache, quantum=1.0)
+    assert cache.final_misses == 1
+    nudged = [
+        Bubble(start=b.start, end=b.end + 1e-4,
+               devices=b.devices, weight=b.weight)
+        for b in bubbles
+    ]
+    warm, _ = _fill(db, model, nudged, "lookahead", cache=cache,
+                    quantum=1.0)
+    assert cache.final_hits == 1 and cache.final_misses == 1
+    cold, _ = _fill(db, model, nudged, "lookahead")
+    assert warm == cold
 
 
 def test_shape_cache_clear_resets_stores():

@@ -73,19 +73,43 @@ def _build_model(name: str, self_conditioning: bool | None):
     return factory(self_conditioning=self_conditioning)
 
 
-def _build_cluster(gpus: int):
+def _parse_speed_factors(items) -> dict[int, float] | None:
+    """``RANK=FACTOR`` pairs into the ClusterSpec override mapping."""
+    if not items:
+        return None
+    out: dict[int, float] = {}
+    for item in items:
+        rank, sep, factor = item.partition("=")
+        try:
+            if not sep:
+                raise ValueError
+            out[int(rank)] = float(factor)
+        except ValueError:
+            raise SystemExit(
+                f"--speed-factors entries look like RANK=FACTOR "
+                f"(e.g. 0=0.5), got {item!r}"
+            )
+    return out
+
+
+def _build_cluster(gpus: int, speed_factors=None):
     """Multiples of 8 GPUs map to p4de machines; smaller or odd counts
     model one NVSwitch node — e.g. ``--gpus 6`` plans the non-divisible
     clusters the heterogeneous DPs exist for."""
     if gpus < 2:
         raise SystemExit("--gpus must be at least 2")
-    if gpus % 8 == 0:
-        return p4de_cluster(gpus // 8)
-    if gpus > 8:
-        raise SystemExit(
-            "--gpus beyond one machine must be a multiple of 8 (p4de)"
-        )
-    return single_node(gpus)
+    factors = _parse_speed_factors(speed_factors)
+    try:
+        if gpus % 8 == 0:
+            return p4de_cluster(gpus // 8, speed_factors=factors)
+        if gpus > 8:
+            raise SystemExit(
+                "--gpus beyond one machine must be a multiple of 8 (p4de)"
+            )
+        return single_node(gpus, speed_factors=factors)
+    except ReproError as exc:
+        # Out-of-range ranks, non-positive factors.
+        raise SystemExit(f"invalid --speed-factors: {exc}")
 
 
 def _group_sizes(cluster) -> tuple[int, ...]:
@@ -130,7 +154,7 @@ def cmd_models(args: argparse.Namespace) -> int:
 
 def cmd_plan(args: argparse.Namespace) -> int:
     model = _build_model(args.model, args.self_conditioning)
-    cluster = _build_cluster(args.gpus)
+    cluster = _build_cluster(args.gpus, args.speed_factors)
     profile = Profiler(cluster).profile(model)
     try:
         # Construction validates option combinations too (e.g. an
@@ -202,7 +226,7 @@ def cmd_plan(args: argparse.Namespace) -> int:
 
 def cmd_sweep(args: argparse.Namespace) -> int:
     model = _build_model(args.model, args.self_conditioning)
-    cluster = _build_cluster(args.gpus)
+    cluster = _build_cluster(args.gpus, args.speed_factors)
     profile = Profiler(cluster).profile(model)
     opts = PlannerOptions(
         group_sizes=_group_sizes(cluster),
@@ -410,6 +434,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allow per-stage replica counts (non-divisible S, D) "
                         "for all models; for cdm-* each chain position's "
                         "count is shared by its co-located down/up stages")
+    p.add_argument("--speed-factors", nargs="+", metavar="RANK=FACTOR",
+                   help="per-device relative compute speeds (1.0 nominal), "
+                        "e.g. '0=0.5' runs rank 0 at half speed; the "
+                        "partitioner prices each stage window at its "
+                        "bottleneck device")
     p.add_argument("--fill-strategy", default="greedy",
                    choices=fill_strategy_names(),
                    help="bubble-filling policy: greedy (the paper's "
@@ -445,6 +474,11 @@ def build_parser() -> argparse.ArgumentParser:
                    help="allow per-stage replica counts (non-divisible S, D) "
                         "for all models; for cdm-* each chain position's "
                         "count is shared by its co-located down/up stages")
+    p.add_argument("--speed-factors", nargs="+", metavar="RANK=FACTOR",
+                   help="per-device relative compute speeds (1.0 nominal), "
+                        "e.g. '0=0.5' runs rank 0 at half speed; the "
+                        "partitioner prices each stage window at its "
+                        "bottleneck device")
     p.add_argument("--fill-strategy", default="greedy",
                    choices=fill_strategy_names(),
                    help="bubble-filling policy: greedy (the paper's "

@@ -63,8 +63,22 @@ DEFAULT_RING_FIXED_OVERHEAD_MS: Mapping[int, float] = {
 }
 
 
-def _interp_efficiency(curve: Mapping[int, float], machines: int) -> float:
-    """Piecewise-linear interpolation of the efficiency curve."""
+def _interp_efficiency(
+    curve: Mapping[int, float], machines: int, *, cap: float | None = None
+) -> float:
+    """Piecewise-linear interpolation of the efficiency curve.
+
+    Calibrated machine counts (exact keys of ``curve``) always return the
+    raw calibrated value.  Between keys the segment endpoints are clamped
+    to ``cap`` before interpolating: the 2-node efficiency of 2.0 encodes
+    hierarchical all-reduce (the EFA hop moves less data), and blending it
+    linearly into the 4-node point would credit a 3-machine flat ring with
+    "efficiency" ~1.25 — faster than nominal bandwidth, purely as an
+    interpolation artifact.  The fixed-overhead curve interpolates with
+    ``cap=None`` (its values are milliseconds, legitimately above 1).
+    """
+    if machines in curve:
+        return curve[machines]
     keys = sorted(curve)
     if machines <= keys[0]:
         return curve[keys[0]]
@@ -72,8 +86,12 @@ def _interp_efficiency(curve: Mapping[int, float], machines: int) -> float:
         return curve[keys[-1]]
     i = bisect_right(keys, machines)
     k0, k1 = keys[i - 1], keys[i]
+    v0, v1 = curve[k0], curve[k1]
+    if cap is not None:
+        v0 = min(v0, cap)
+        v1 = min(v1, cap)
     f = (machines - k0) / (k1 - k0)
-    return curve[k0] + f * (curve[k1] - curve[k0])
+    return v0 + f * (v1 - v0)
 
 
 class CollectiveModel:
@@ -107,7 +125,7 @@ class CollectiveModel:
         machines = len({self.cluster.machine_of(r) for r in ranks})
         if machines <= 1 or not self.inter_node_efficiency:
             return 1.0
-        return _interp_efficiency(self.inter_node_efficiency, machines)
+        return _interp_efficiency(self.inter_node_efficiency, machines, cap=1.0)
 
     def _ring_fixed_ms(self, ranks: Sequence[int]) -> float:
         if not self.ring_fixed_overhead_ms:
@@ -163,13 +181,22 @@ class CollectiveModel:
         return self.allgather(ranks, nbytes)
 
     def broadcast(self, ranks: Sequence[int], nbytes: float) -> float:
-        """Pipelined ring broadcast time."""
+        """Pipelined ring broadcast time.
+
+        Pays the same ring calibration as the other ring collectives:
+        achieved (not nominal) bottleneck bandwidth plus the fixed
+        per-call overhead.  Before this, multi-node broadcast was priced
+        against raw link bandwidth with no fixed term, making ZeRO-3
+        parameter broadcasts look artificially cheap next to the
+        calibrated all-gather they compete with.
+        """
         n = len(ranks)
         self._check_group(n, nbytes)
         if n == 1:
             return 0.0
         link = self._bottleneck(ranks)
-        return (n - 1) * link.latency + nbytes / link.bandwidth
+        bw = link.bandwidth * self._ring_efficiency(ranks)
+        return self._ring_fixed_ms(ranks) + (n - 1) * link.latency + nbytes / bw
 
     def allreduce_costs(self, ranks: Sequence[int]) -> CommCosts:
         """Effective R_ar / L_ar constants for a group, for the DP equations.

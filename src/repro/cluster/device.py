@@ -132,7 +132,25 @@ class Device:
     machine: int
     local_rank: int
     spec: DeviceSpec = field(default_factory=a100_80gb)
+    #: Relative compute speed against the cluster's reference device:
+    #: 1.0 is nominal, 0.5 runs every profiled layer twice as slow.  The
+    #: planner divides per-stage compute (never communication) by the
+    #: minimum factor across the devices hosting the stage.
+    speed_factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.rank < 0 or self.machine < 0 or self.local_rank < 0:
             raise ConfigurationError("device indices must be non-negative")
+        if not self.speed_factor > 0:
+            raise ConfigurationError(
+                f"device speed_factor must be positive, got {self.speed_factor}"
+            )
+
+    def scaled_time_ms(self, nominal_ms: float) -> float:
+        """A nominal (reference-device) execution time on this device."""
+        # Exact-identity gate, not a tolerance check: a factor of exactly
+        # 1.0 must leave the nominal time bit-identical (x / 1.0 would be
+        # exact too, but skipping the op keeps homogeneous paths untouched).
+        if self.speed_factor == 1.0:  # repro: allow[float-equality] identity gate
+            return nominal_ms
+        return nominal_ms / self.speed_factor

@@ -19,6 +19,11 @@ from .cross_iteration import (
     packed_fill_strict_credit,
     strict_idle_in_bubbles,
 )
+from .elastic import (
+    ElasticEvent,
+    ElasticSession,
+    apply_event,
+)
 from .fill_strategies import (
     FILL_STRATEGIES,
     FillStrategy,
@@ -114,7 +119,10 @@ __all__ = [
     "PartitionPlan",
     "StageAssignment",
     "DiffusionPipePlanner",
+    "ElasticEvent",
+    "ElasticSession",
     "EvaluatedConfig",
     "PlannerCaches",
     "PlannerOptions",
+    "apply_event",
 ]

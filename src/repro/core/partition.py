@@ -85,6 +85,18 @@ class PartitionContext:
     )
     allreduce_key: tuple | None = None
     pricing: str = "default"
+    #: Per-device relative compute speeds along the pipeline group's
+    #: device chain (group-local ranks ``0..D-1``; the planner folds the
+    #: data-parallel replicas of each position to their bottleneck).
+    #: ``None`` — the homogeneous default — keeps every DP on the
+    #: unscaled code path byte-for-byte.  A tuple routes the DPs through
+    #: the scaled stage bounds: a stage on window ``[pd, pd+r)`` divides
+    #: its compute (never its communication) by the window's minimum
+    #: factor.  The tuple is deliberately *not* canonicalised: an
+    #: all-1.0 tuple exercises the scaled path and must reduce
+    #: bit-identically to ``None`` (x / 1.0 is IEEE-exact), which the
+    #: property suite asserts.
+    speed_scales: tuple[float, ...] | None = None
 
     def __post_init__(self) -> None:
         if self.allreduce_by_r is not None and self.allreduce_key is None:
@@ -97,6 +109,17 @@ class PartitionContext:
                 f"unknown partition pricing {self.pricing!r}; "
                 "expected 'default' or 'zerobubble'"
             )
+        if self.speed_scales is not None:
+            if not isinstance(self.speed_scales, tuple):
+                raise ConfigurationError(
+                    "speed_scales must be a tuple (or None for a "
+                    "homogeneous group)"
+                )
+            for scale in self.speed_scales:
+                if not scale > 0:
+                    raise ConfigurationError(
+                        f"speed scales must be positive, got {scale}"
+                    )
 
     @property
     def zb_pricing(self) -> bool:
@@ -122,6 +145,33 @@ class PartitionContext:
         if self.allreduce_by_r is not None:
             return self.allreduce_key
         return self.allreduce
+
+    @property
+    def comp_scale(self) -> float:
+        """Deflator of the compensation term under mixed speeds.
+
+        Eqn. 5 credits a stage's sync with the backward work of all
+        *earlier* layers, whose hosting devices (and speeds) a
+        sub-problem does not know yet.  Crediting the nominal time
+        divided by the group's *maximum* factor under-credits every
+        possible placement — earlier layers can never run faster than
+        on the group's fastest device — so the resulting ``Y`` keeps
+        ``T_max`` a valid upper bound.
+        """
+        if self.speed_scales is None:
+            return 1.0
+        return max(self.speed_scales)
+
+    def window_scale(self, pd: int, r: int) -> float:
+        """Bottleneck speed factor of the device window ``[pd, pd+r)``.
+
+        A stage replicated on that window runs its compute at the pace
+        of its slowest device (the replicas execute the same layers on
+        equal local batches and synchronise at the stage boundary).
+        """
+        if self.speed_scales is None:
+            return 1.0
+        return min(self.speed_scales[pd : pd + r])
 
 
 class StageCosts:
@@ -241,6 +291,40 @@ class StageCosts:
         )
         return nbytes / self.ctx.p2p.bandwidth + self.ctx.p2p.latency
 
+    # -- speed-scaled bounds ------------------------------------------------------
+    #
+    # Used only when ``ctx.speed_scales`` is set; each divides the
+    # compute term (never communication) by the hosting window's
+    # bottleneck factor, unconditionally — no identity gate — so the
+    # elementwise op sequence matches the array kernels exactly and a
+    # scale of 1.0 stays bit-identical to the unscaled bound.
+
+    def t0_scaled(self, lo: int, hi: int, scale: float) -> float:
+        """Eqn. 3 on a device window with bottleneck factor ``scale``."""
+        return max(
+            (self.fwd(lo, hi) + self.bwd(lo, hi)) / scale,
+            self.boundary_comm_ms(lo),
+        )
+
+    def t0_sc_scaled(self, lo: int, hi: int, scale: float) -> float:
+        """Eqn. 17 (two forwards) under a window speed factor."""
+        return max(
+            (2.0 * self.fwd(lo, hi) + self.bwd(lo, hi)) / scale,
+            self.boundary_comm_ms(lo, forwards=2),
+        )
+
+    def t0_ramp_scaled(self, lo: int, hi: int, scale: float) -> float:
+        """Zero-bubble ramp bound under a window speed factor."""
+        return max(
+            (self.fwd(lo, hi) + self.bwd_b(lo, hi)) / scale,
+            self.boundary_comm_ms(lo),
+        )
+
+    def sync_gap_scaled(self, lo: int, hi: int, comp_scale: float) -> float:
+        """Eqn. 6 with the compensation deflated by the group's maximum
+        speed factor (see :attr:`PartitionContext.comp_scale`)."""
+        return self.sync_ms(lo, hi) - self.compensation_ms(lo) / comp_scale
+
 
 # -- Pareto machinery -------------------------------------------------------------
 
@@ -332,6 +416,11 @@ def partition_backbone(
         )
     if S > D:
         raise PartitionError(f"cannot place {S} stages on {D} devices")
+    if ctx.speed_scales is not None and len(ctx.speed_scales) != D:
+        raise ConfigurationError(
+            f"speed_scales must carry one factor per group device "
+            f"(got {len(ctx.speed_scales)} for group size {D})"
+        )
 
     if heterogeneous:
         return _partition_heterogeneous(ctx, S, D, caches, dp_kernel=dp_kernel)
@@ -455,6 +544,12 @@ def _chain_frontiers(
         # ones (all non-splitting families share "default" tables).
         ctx.zb_pricing,
         dp_kernel,
+        # Heterogeneous device speeds: stage s covers the group-local
+        # window [(s-1)r, sr), so a scaled table depends on the full
+        # factor tuple AND on r — two contexts sharing one stage-local
+        # batch but differing in r slice different windows.  None keeps
+        # homogeneous keys stable across speed-agnostic callers.
+        None if ctx.speed_scales is None else (r, ctx.speed_scales),
     )
     cached = caches.chains.get(ctx.profile, key)
     if cached is not None:
@@ -487,12 +582,17 @@ def _chain_frontiers_reference(
     ``dp_kernel="reference"``.
     """
     costs = StageCosts(ctx, r)
+    scaled = ctx.speed_scales is not None
+    comp_scale = ctx.comp_scale
     prev: list[list[tuple]] = [[] for _ in range(L + 1)]
     prev[0] = [(0.0, 0.0, float("-inf"), -1, -1)]
     history: list[list[list[tuple]]] = [prev]
 
     for s in range(1, S + 1):
         cur: list[list[tuple]] = [[] for _ in range(L + 1)]
+        # Stage s (1-based) replicates on the group-local device window
+        # [(s-1)r, sr); its compute runs at the window's bottleneck pace.
+        sigma = ctx.window_scale((s - 1) * r, r) if scaled else 1.0
         # A prefix of l layers in s stages needs l >= s and leaves at
         # least S - s layers for the remaining stages.
         for l in range(s, L - (S - s) + 1):
@@ -501,17 +601,27 @@ def _chain_frontiers_reference(
                 parents = prev[c]
                 if not parents:
                     continue
-                t0 = costs.t0(c, l)
-                if ctx.self_conditioning:
-                    t0_sc = costs.t0_sc(c, l)
-                elif ctx.zb_pricing:
-                    # The second coordinate carries the split-backward
-                    # ramp bound (see _objective); dominance over the
-                    # triple is still a monotone max-composition.
-                    t0_sc = costs.t0_ramp(c, l)
+                if scaled:
+                    t0 = costs.t0_scaled(c, l, sigma)
+                    if ctx.self_conditioning:
+                        t0_sc = costs.t0_sc_scaled(c, l, sigma)
+                    elif ctx.zb_pricing:
+                        t0_sc = costs.t0_ramp_scaled(c, l, sigma)
+                    else:
+                        t0_sc = t0
+                    gap = costs.sync_gap_scaled(c, l, comp_scale)
                 else:
-                    t0_sc = t0
-                gap = costs.sync_gap(c, l)
+                    t0 = costs.t0(c, l)
+                    if ctx.self_conditioning:
+                        t0_sc = costs.t0_sc(c, l)
+                    elif ctx.zb_pricing:
+                        # The second coordinate carries the split-backward
+                        # ramp bound (see _objective); dominance over the
+                        # triple is still a monotone max-composition.
+                        t0_sc = costs.t0_ramp(c, l)
+                    else:
+                        t0_sc = t0
+                    gap = costs.sync_gap(c, l)
                 for pi, parent in enumerate(parents):
                     pw, pwsc, py = parent[0], parent[1], parent[2]
                     cand = (
@@ -642,6 +752,9 @@ def _het_frontiers(
         # in the second coordinate and must not alias default ones.
         ctx.zb_pricing,
         dp_kernel,
+        # Per-device speed factors (the table's windows are internal to
+        # the DP state, so the tuple alone suffices; D is above).
+        ctx.speed_scales,
     )
     cached = caches.het.get(ctx.profile, key)
     if cached is not None:
@@ -676,9 +789,12 @@ def _het_frontiers_reference(
     kernels; selected via ``dp_kernel="reference"``.
     """
     costs_for = _LazyStageCosts(ctx)
-    #: per-(r, lo, hi) segment costs — distinct parent states reach the
-    #: same stage slice, so the interpolation work is shared.
-    seg: dict[tuple[int, int, int], tuple[float, float, float]] = {}
+    scaled = ctx.speed_scales is not None
+    comp_scale = ctx.comp_scale
+    #: per-(r, lo, hi, window-scale) segment costs — distinct parent
+    #: states reach the same stage slice (and, under mixed speeds, equal
+    #: window factors), so the interpolation work is shared.
+    seg: dict[tuple, tuple[float, float, float]] = {}
     # Physical feasibility: every stage replica must see at least one
     # sample per micro-batch (the homogeneous sweep enforces the same
     # floor via its r = D/S guard).  Larger r always lowers a stage's
@@ -710,18 +826,33 @@ def _het_frontiers_reference(
                 l_values = (L,)
             for l in l_values:
                 for r in range(1, max_r + 1):
-                    seg_key = (r, pl, l)
+                    # The stage would occupy the group-local window
+                    # [pd, pd+r); under mixed speeds its compute runs at
+                    # the window's bottleneck factor, which joins the
+                    # memo key (equal windows still share).
+                    w = ctx.window_scale(pd, r)
+                    seg_key = (r, pl, l, w)
                     vals = seg.get(seg_key)
                     if vals is None:
                         costs = costs_for(r)
-                        t0 = costs.t0(pl, l)
-                        if ctx.self_conditioning:
-                            t0_sc = costs.t0_sc(pl, l)
-                        elif ctx.zb_pricing:
-                            t0_sc = costs.t0_ramp(pl, l)
+                        if scaled:
+                            t0 = costs.t0_scaled(pl, l, w)
+                            if ctx.self_conditioning:
+                                t0_sc = costs.t0_sc_scaled(pl, l, w)
+                            elif ctx.zb_pricing:
+                                t0_sc = costs.t0_ramp_scaled(pl, l, w)
+                            else:
+                                t0_sc = t0
+                            gap = costs.sync_gap_scaled(pl, l, comp_scale)
                         else:
-                            t0_sc = t0
-                        gap = costs.sync_gap(pl, l)
+                            t0 = costs.t0(pl, l)
+                            if ctx.self_conditioning:
+                                t0_sc = costs.t0_sc(pl, l)
+                            elif ctx.zb_pricing:
+                                t0_sc = costs.t0_ramp(pl, l)
+                            else:
+                                t0_sc = t0
+                            gap = costs.sync_gap(pl, l)
                         vals = seg[seg_key] = (t0, t0_sc, gap)
                     t0, t0_sc, gap = vals
                     # Last-stage buckets are additionally keyed by the

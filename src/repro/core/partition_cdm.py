@@ -79,6 +79,12 @@ class CDMPartitionContext:
             )
         if self.comm_scale <= 0:
             raise ConfigurationError("comm_scale must be positive")
+        if self.down.speed_scales != self.up.speed_scales:
+            raise ConfigurationError(
+                "bidirectional contexts share one device chain, so their "
+                "speed_scales must be identical (got "
+                f"down={self.down.speed_scales}, up={self.up.speed_scales})"
+            )
 
     @property
     def m_cdm(self) -> int:
@@ -112,24 +118,33 @@ def _min_gap(pts: list[int]) -> int:
     return min(b - a for a, b in zip(pts, pts[1:]))
 
 
-def _seg_eval(costs_for):
-    """Lazy per-``(r, lo, hi)`` segment ``(t0, sync_gap)`` memo.
+def _seg_eval(costs_for, comp_scale: float | None = None):
+    """Lazy per-``(r, lo, hi, window-scale)`` segment ``(t0, sync_gap)``
+    memo.
 
     The eager predecessor tabulated every cut-point pair up front; the
     DPs' feasibility pruning touches far fewer slices (only lengths
     ``<= L - (S-1) * min-cut`` can appear in a completable partition),
     so slices are now evaluated on first use and memoized.  The uniform
     DP calls it with its one fixed replica count; the heterogeneous DP
-    spans every ``r``.
+    spans every ``r``.  A window scale ``w`` (``None`` on homogeneous
+    groups) routes the slice through the speed-scaled bounds; equal
+    windows share a memo entry.
     """
-    memo: dict[tuple[int, int, int], tuple[float, float]] = {}
+    memo: dict[tuple, tuple[float, float]] = {}
 
-    def get(r: int, lo: int, hi: int) -> tuple[float, float]:
-        key = (r, lo, hi)
+    def get(r: int, lo: int, hi: int, w: float | None = None):
+        key = (r, lo, hi, w)
         v = memo.get(key)
         if v is None:
             costs = costs_for(r)
-            v = memo[key] = (costs.t0(lo, hi), costs.sync_gap(lo, hi))
+            if w is None:
+                v = memo[key] = (costs.t0(lo, hi), costs.sync_gap(lo, hi))
+            else:
+                v = memo[key] = (
+                    costs.t0_scaled(lo, hi, w),
+                    costs.sync_gap_scaled(lo, hi, comp_scale),
+                )
         return v
 
     return get
@@ -211,8 +226,10 @@ def _cdm_dp_table_reference(
     kernel (the ``simulate_reference`` discipline); selected via
     ``dp_kernel="reference"``.
     """
-    eval_d = _seg_eval(_lazy_scaled_costs(ctx.down, ctx.comm_scale))
-    eval_u = _seg_eval(_lazy_scaled_costs(ctx.up, ctx.comm_scale))
+    scaled = ctx.down.speed_scales is not None
+    comp_scale = ctx.down.comp_scale
+    eval_d = _seg_eval(_lazy_scaled_costs(ctx.down, ctx.comm_scale), comp_scale)
+    eval_u = _seg_eval(_lazy_scaled_costs(ctx.up, ctx.comm_scale), comp_scale)
 
     cuts_d = _cut_points(ld, cut_step)
     # Up-backbone boundaries are addressed as suffix lengths ``b``; the
@@ -266,9 +283,13 @@ def _cdm_dp_table_reference(
                 b_iter = (lu,)
             for a in a_iter:
                 for r in r_iter:
-                    td, gd = eval_d(r, pa, a)
+                    # Position k-1 occupies the device window
+                    # [pd, pd+r); its down AND up stage are co-located
+                    # there, so one bottleneck factor scales both.
+                    w = ctx.down.window_scale(pd, r) if scaled else None
+                    td, gd = eval_d(r, pa, a, w)
                     for b in b_iter:
-                        tu, gu = eval_u(r, lu - b, lu - pb)
+                        tu, gu = eval_u(r, lu - b, lu - pb, w)
                         w_stage = max(td, tu)
                         y_stage = max(gd, gu)
                         skey = (a, b, pd + r)
@@ -340,6 +361,11 @@ def _cdm_frontiers(
         # Engines are bit-identical by contract, but tables must still
         # never alias across them (differential runs build both).
         dp_kernel,
+        # Speed factors: position k's device window is [k*r, (k+1)*r),
+        # so a scaled table depends on the tuple AND on r — two
+        # (micro-batch, r) combos sharing a stage-local batch slice
+        # different windows.  None keeps homogeneous keys stable.
+        None if ctx.down.speed_scales is None else (r, ctx.down.speed_scales),
     )
     if cacheable:
         cached = caches.cdm.get(ctx.down.profile, key)
@@ -397,6 +423,9 @@ def _cdm_het_frontiers(
         ctx.down.pricing,
         ctx.up.pricing,
         dp_kernel,
+        # Per-device speed factors (windows are internal DP state; D is
+        # above), matching ``_het_frontiers``.
+        ctx.down.speed_scales,
     )
     if cacheable:
         cached = caches.cdm_het.get(ctx.down.profile, key)
@@ -540,6 +569,14 @@ def partition_cdm(
         raise ConfigurationError("cut_step must be positive")
     if S > D:
         raise PartitionError(f"cannot place {S} stages on {D} devices")
+    if (
+        ctx.down.speed_scales is not None
+        and len(ctx.down.speed_scales) != D
+    ):
+        raise ConfigurationError(
+            f"speed_scales must carry one factor per group device "
+            f"(got {len(ctx.down.speed_scales)} for group size {D})"
+        )
 
     ld = ctx.down.profile.num_layers(ctx.down.component)
     lu = ctx.up.profile.num_layers(ctx.up.component)

@@ -86,7 +86,13 @@ def _ragged_arange(counts: np.ndarray) -> np.ndarray:
 
 
 def _cost_slabs(
-    costs: StageCosts, L: int, *, sc: bool, zb: bool
+    costs: StageCosts,
+    L: int,
+    *,
+    sc: bool,
+    zb: bool,
+    scale: float | None = None,
+    comp_scale: float | None = None,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
     """Dense ``[lo, hi]`` slabs of ``(t0, alt, sync_gap)``.
 
@@ -96,22 +102,38 @@ def _cost_slabs(
     compositions exactly (prefix-difference, then add, then max), and
     the boundary-communication columns are produced by the *instance*
     method, so subclasses (the CDM comm-scaled costs) price themselves.
+
+    ``scale``/``comp_scale`` select the speed-scaled bound variants
+    (``t0_scaled`` etc.): compute divided by the hosting window's
+    bottleneck factor, compensation deflated by the group maximum —
+    unconditionally, matching the scalar methods' op sequence, so 1.0
+    stays bit-identical to the unscaled slab.  ``None`` (the
+    homogeneous default) keeps the original op sequence byte-for-byte.
     """
     F = np.asarray(costs._fwd)
     B = np.asarray(costs._bwd)
     fw = F[None, :] - F[:, None]
     bw = B[None, :] - B[:, None]
     comm1 = np.asarray([costs.boundary_comm_ms(lo) for lo in range(L + 1)])
-    t0 = np.maximum(fw + bw, comm1[:, None])
+    if scale is None:
+        t0 = np.maximum(fw + bw, comm1[:, None])
+    else:
+        t0 = np.maximum((fw + bw) / scale, comm1[:, None])
     if sc:
         comm2 = np.asarray(
             [costs.boundary_comm_ms(lo, forwards=2) for lo in range(L + 1)]
         )
-        alt = np.maximum(2.0 * fw + bw, comm2[:, None])
+        if scale is None:
+            alt = np.maximum(2.0 * fw + bw, comm2[:, None])
+        else:
+            alt = np.maximum((2.0 * fw + bw) / scale, comm2[:, None])
     elif zb:
         W = np.asarray(costs._bww)
         bb = np.maximum(0.0, bw - (W[None, :] - W[:, None]))
-        alt = np.maximum(fw + bb, comm1[:, None])
+        if scale is None:
+            alt = np.maximum(fw + bb, comm1[:, None])
+        else:
+            alt = np.maximum((fw + bb) / scale, comm1[:, None])
     else:
         alt = t0
     G = np.asarray(costs._grad)
@@ -120,7 +142,10 @@ def _cost_slabs(
         g == 0, 0.0, g / costs.sync_costs.bandwidth + costs.sync_costs.latency
     )
     comp = B - costs._bwd[0]
-    gap = sync - comp[:, None]
+    if comp_scale is None:
+        gap = sync - comp[:, None]
+    else:
+        gap = sync - (comp / comp_scale)[:, None]
     return t0, alt, gap
 
 
@@ -834,12 +859,29 @@ def chain_table_array(ctx, r: int, L: int, S: int):
     costs = StageCosts(ctx, r)
     sc = ctx.self_conditioning
     zb = ctx.zb_pricing
-    t0, alt, gap = _cost_slabs(costs, L, sc=sc, zb=zb)
+    scaled = ctx.speed_scales is not None
+    if not scaled:
+        t0, alt, gap = _cost_slabs(costs, L, sc=sc, zb=zb)
+    else:
+        # One slab triple per distinct per-stage window factor: stage s
+        # covers group-local devices [(s-1)r, sr), and equal bottleneck
+        # factors share a slab.
+        comp_scale = ctx.comp_scale
+        slabs_by_sigma: dict[float, tuple] = {}
 
     prev: list[list[tuple]] = [[] for _ in range(L + 1)]
     prev[0] = [(0.0, 0.0, float("-inf"), -1, -1)]
     history: list[list[list[tuple]]] = [prev]
     for s in range(1, S + 1):
+        if scaled:
+            sigma = ctx.window_scale((s - 1) * r, r)
+            slab = slabs_by_sigma.get(sigma)
+            if slab is None:
+                slab = slabs_by_sigma[sigma] = _cost_slabs(
+                    costs, L, sc=sc, zb=zb,
+                    scale=sigma, comp_scale=comp_scale,
+                )
+            t0, alt, gap = slab
         cur: list[list[tuple]] = [[] for _ in range(L + 1)]
         # Flatten parents in (cell, entry) order — candidate generation
         # order for every target l is exactly this flat order filtered
@@ -917,12 +959,43 @@ def het_table_array(ctx, L: int, S: int, D: int):
             costs = costs_by_r[r] = StageCosts(ctx, r)
         return costs
 
-    shape = (rmax + 1, L + 1, L + 1)
-    ST0 = np.zeros(shape)
-    SALT = np.zeros(shape)
-    SGAP = np.zeros(shape)
-    for r in range(1, rmax + 1):
-        ST0[r], SALT[r], SGAP[r] = _cost_slabs(costs_for(r), L, sc=sc, zb=zb)
+    scaled = ctx.speed_scales is not None
+    if not scaled:
+        shape = (rmax + 1, L + 1, L + 1)
+        ST0 = np.zeros(shape)
+        SALT = np.zeros(shape)
+        SGAP = np.zeros(shape)
+        for r in range(1, rmax + 1):
+            ST0[r], SALT[r], SGAP[r] = _cost_slabs(
+                costs_for(r), L, sc=sc, zb=zb
+            )
+        SID = None
+    else:
+        # Slab per distinct (r, window factor): a stage of r replicas
+        # starting at group-local device pd runs at the bottleneck of
+        # scales[pd:pd+r].  SID maps (pd, r) to its slab, so the value
+        # gathers below stay single fancy-index expressions.
+        comp_scale = ctx.comp_scale
+        SID = np.zeros((D + 1, rmax + 1), dtype=np.int64)
+        slab_id: dict[tuple[int, float], int] = {}
+        slab_params: list[tuple[int, float]] = []
+        for r in range(1, rmax + 1):
+            for pd in range(D - r + 1):
+                key = (r, ctx.window_scale(pd, r))
+                sid = slab_id.get(key)
+                if sid is None:
+                    sid = slab_id[key] = len(slab_params)
+                    slab_params.append(key)
+                SID[pd, r] = sid
+        shape = (len(slab_params), L + 1, L + 1)
+        ST0 = np.zeros(shape)
+        SALT = np.zeros(shape)
+        SGAP = np.zeros(shape)
+        for sid, (r, w) in enumerate(slab_params):
+            ST0[sid], SALT[sid], SGAP[sid] = _cost_slabs(
+                costs_for(r), L, sc=sc, zb=zb,
+                scale=w, comp_scale=comp_scale,
+            )
 
     history: list[dict[tuple, list[tuple]]] = [
         {(0, 0): [(0.0, 0.0, float("-inf"), -1, 0, -1)]}
@@ -985,8 +1058,11 @@ def het_table_array(ctx, L: int, S: int, D: int):
         tb_starts = np.cumsum(tb_counts) - tb_counts
 
         # Candidate expansion: one candidate per (batch, parent entry).
-        T0_b = ST0[R_b, PL_b, L_b]
-        GA_b = SGAP[R_b, PL_b, L_b]
+        # Under mixed speeds the slab axis is the (pd, r) window's slab
+        # id; otherwise it is r itself — the original gather unchanged.
+        K_b = SID[PD[P_b], R_b] if scaled else R_b
+        T0_b = ST0[K_b, PL_b, L_b]
+        GA_b = SGAP[K_b, PL_b, L_b]
         if not sc and not zb:
             # CS == CW under default pricing (see chain_table_array):
             # dominance degenerates to two columns, so each batch is a
@@ -1010,7 +1086,7 @@ def het_table_array(ctx, L: int, S: int, D: int):
             )
             pil = _ragged_arange(counts_e)
             eidx = estarts[P_b][bidx] + pil
-            AL_b = SALT[R_b, PL_b, L_b]
+            AL_b = SALT[K_b, PL_b, L_b]
             CW = np.maximum(EW[eidx], T0_b[bidx])
             CS = np.maximum(ES[eidx], AL_b[bidx])
             CY = np.maximum(EY[eidx], GA_b[bidx])
@@ -1234,17 +1310,50 @@ def cdm_table_array(
         set().union(*(np.unique(stage["R"]).tolist() for stage in plan))
     )
     rmax = max(r_used, default=0)
-    STD = np.zeros((rmax + 1, ld + 1, ld + 1))
-    SGD = np.zeros((rmax + 1, ld + 1, ld + 1))
-    STU = np.zeros((rmax + 1, lu + 1, lu + 1))
-    SGU = np.zeros((rmax + 1, lu + 1, lu + 1))
-    for r in r_used:
-        STD[r], _, SGD[r] = _cost_slabs(
-            costs_d_for(r), ld, sc=False, zb=False
-        )
-        STU[r], _, SGU[r] = _cost_slabs(
-            costs_u_for(r), lu, sc=False, zb=False
-        )
+    scaled = ctx.down.speed_scales is not None
+    if not scaled:
+        STD = np.zeros((rmax + 1, ld + 1, ld + 1))
+        SGD = np.zeros((rmax + 1, ld + 1, ld + 1))
+        STU = np.zeros((rmax + 1, lu + 1, lu + 1))
+        SGU = np.zeros((rmax + 1, lu + 1, lu + 1))
+        for r in r_used:
+            STD[r], _, SGD[r] = _cost_slabs(
+                costs_d_for(r), ld, sc=False, zb=False
+            )
+            STU[r], _, SGU[r] = _cost_slabs(
+                costs_u_for(r), lu, sc=False, zb=False
+            )
+        SID = None
+    else:
+        # Chain position k hosts its down AND up stage on the same
+        # device window [pd, pd+r), so one (r, window factor) slab id
+        # serves both chains' gathers (see het_table_array).
+        comp_scale = ctx.down.comp_scale
+        SID = np.zeros((D + 1, rmax + 1), dtype=np.int64)
+        slab_id: dict[tuple[int, float], int] = {}
+        slab_params: list[tuple[int, float]] = []
+        for r in r_used:
+            for pd in range(D - r + 1):
+                key = (r, ctx.down.window_scale(pd, r))
+                sid = slab_id.get(key)
+                if sid is None:
+                    sid = slab_id[key] = len(slab_params)
+                    slab_params.append(key)
+                SID[pd, r] = sid
+        nslab = len(slab_params)
+        STD = np.zeros((nslab, ld + 1, ld + 1))
+        SGD = np.zeros((nslab, ld + 1, ld + 1))
+        STU = np.zeros((nslab, lu + 1, lu + 1))
+        SGU = np.zeros((nslab, lu + 1, lu + 1))
+        for sid, (r, w) in enumerate(slab_params):
+            STD[sid], _, SGD[sid] = _cost_slabs(
+                costs_d_for(r), ld, sc=False, zb=False,
+                scale=w, comp_scale=comp_scale,
+            )
+            STU[sid], _, SGU[sid] = _cost_slabs(
+                costs_u_for(r), lu, sc=False, zb=False,
+                scale=w, comp_scale=comp_scale,
+            )
 
     frontiers: list[dict[tuple[int, int, int], list[tuple]]] = [
         {(0, 0, 0): [(0.0, float("-inf"), -1, -1, 0, -1)]}
@@ -1264,10 +1373,11 @@ def cdm_table_array(
 
         PA_b = PA[P_b]
         PB_b = PB[P_b]
-        td = STD[R_b, PA_b, A_b]
-        gd = SGD[R_b, PA_b, A_b]
-        tu = STU[R_b, lu - B_b, lu - PB_b]
-        gu = SGU[R_b, lu - B_b, lu - PB_b]
+        K_b = SID[st["PD"][P_b], R_b] if scaled else R_b
+        td = STD[K_b, PA_b, A_b]
+        gd = SGD[K_b, PA_b, A_b]
+        tu = STU[K_b, lu - B_b, lu - PB_b]
+        gu = SGU[K_b, lu - B_b, lu - PB_b]
         WS = np.maximum(td, tu)
         YS = np.maximum(gd, gu)
 

@@ -200,6 +200,13 @@ class DiffusionPipePlanner:
                 "device identically; heterogeneous replication is not "
                 "supported with chunked schedules"
             )
+        if self._family.chunked and self.cluster.speed_factors:
+            raise ConfigurationError(
+                "chunked schedules partition at chunk granularity on a "
+                "virtual device budget, which has no per-device windows "
+                "to scale; per-device speed factors are not supported "
+                "with chunked schedules"
+            )
 
     def _resolve_schedule(self) -> str:
         name = self.options.schedule
@@ -301,6 +308,27 @@ class DiffusionPipePlanner:
             self.caches.comm.put(key, costs)
         return costs
 
+    def _group_speed_scales(self, group_size: int) -> tuple[float, ...] | None:
+        """Per-position compute scales of a pipeline group's device chain.
+
+        Position ``j`` of a group replicates on ranks ``{g * D + j}``
+        across the ``world/D`` data-parallel groups (Fig. 8's layout:
+        groups are contiguous rank blocks), and a stage's step time is
+        set by its slowest replica, so the fold across groups is the
+        bottleneck (minimum).  Returns ``None`` for clusters without
+        speed overrides, keeping every partition DP and stage-exec
+        build on the unscaled code path byte-for-byte.
+        """
+        cluster = self.cluster
+        if not cluster.speed_factors:
+            return None
+        D = group_size
+        dp = cluster.world_size // D
+        return tuple(
+            min(cluster.speed_factor(g * D + j) for g in range(dp))
+            for j in range(D)
+        )
+
     # -- evaluation of one configuration ----------------------------------------------
 
     def evaluate(
@@ -338,7 +366,9 @@ class DiffusionPipePlanner:
             memory = pipeline_memory_report(
                 self.model,
                 partition,
-                capacity_bytes=self.cluster.device_spec.memory_bytes,
+                # The OOM bound is the smallest device: a plan either
+                # fits everywhere or it does not fit at all.
+                capacity_bytes=self.cluster.min_memory_bytes(),
                 schedule=self.schedule,
                 virtual_stages=(
                     self.options.virtual_stages if self._family.chunked else 1
@@ -501,12 +531,20 @@ class DiffusionPipePlanner:
         # of every r — standing in for the (unhashable) callable in the
         # per-profile DP memo keys.
         ar_by_r = lambda r: self._allreduce_costs(D, r)  # noqa: E731
-        ar_key = ("ar", self.cluster, D)
+        # Content-based resolver identity: the key names the constants
+        # the callback can actually resolve (one CommCosts per replica
+        # count) rather than the cluster object that produced them.  An
+        # elastic replan on a different cluster identity (a machine
+        # left and rejoined) then warm-hits every DP table whose sync
+        # constants are genuinely unchanged, instead of missing on an
+        # incidental cluster field.
+        ar_key = ("ar-resolved", D, tuple(ar_by_r(r) for r in range(1, D + 1)))
         # Flat-pair fallback, unread while the resolver is set: every
         # cost path resolves through allreduce_for.  Filled with the
         # uniform stage's constants so direct readers of the context see
         # a representative value.
         ar = ar_by_r(max(D // S, 1))
+        speed_scales = self._group_speed_scales(D)
         names = self.model.backbone_names
         if len(names) == 1:
             mode = self._partition_mode
@@ -522,6 +560,7 @@ class DiffusionPipePlanner:
                 allreduce_by_r=ar_by_r,
                 allreduce_key=ar_key,
                 pricing="zerobubble" if mode[0] == "zerobubble" else "default",
+                speed_scales=speed_scales,
             )
             if self._family.chunked:
                 # Interleaved virtual stages partition at CHUNK
@@ -560,6 +599,7 @@ class DiffusionPipePlanner:
             allreduce=ar,
             allreduce_by_r=ar_by_r,
             allreduce_key=ar_key,
+            speed_scales=speed_scales,
         )
         ctx_up = replace(ctx_down, component=names[1])
         return partition_cdm(
@@ -578,6 +618,7 @@ class DiffusionPipePlanner:
         micro_batch: float,
         sc: bool,
         group_size: int | None = None,
+        reverse_windows: bool = False,
     ) -> list[StageExec]:
         prof = self.profile
         # With heterogeneous replication the stages' replica counts
@@ -588,6 +629,16 @@ class DiffusionPipePlanner:
         if group_size is None:
             group_size = sum(st.replicas for st in chain)
         p2p = self._p2p_costs(group_size)
+        scales = self._group_speed_scales(group_size)
+        # Device windows along the chain: stage i occupies the devices
+        # where stage i-1's replicas end, matching the partition DP's
+        # placement convention.  The up chain of the bidirectional
+        # schedule is traversed in its own stage order but placed in
+        # reverse chain order (up stage j shares position S-1-j's
+        # devices), so its windows are suffix sums.
+        offsets = [0]
+        for st in chain:
+            offsets.append(offsets[-1] + st.replicas)
         execs = []
         for i, st in enumerate(chain):
             local = micro_batch / st.replicas
@@ -607,6 +658,21 @@ class DiffusionPipePlanner:
             # grad-weight share, B the exact remainder.
             bwd_w = prof.stage_bwd_w_ms(st.component, st.lo, st.hi, local)
             bwd_b = prof.stage_bwd_b_ms(st.component, st.lo, st.hi, local)
+            if scales is not None:
+                # The stage runs at its window's bottleneck speed — the
+                # same min-over-window the partition DP priced — so the
+                # simulated timeline and the DP's T0 agree on slowdowns.
+                # Comm terms (send/sync) are never compute-scaled.
+                pd = (
+                    offsets[-1] - offsets[i + 1]
+                    if reverse_windows
+                    else offsets[i]
+                )
+                w = min(scales[pd : pd + st.replicas])
+                fwd /= w
+                bwd /= w
+                bwd_w /= w
+                bwd_b /= w
             execs.append(
                 StageExec(
                     index=i,
@@ -731,7 +797,10 @@ class DiffusionPipePlanner:
                 for i in range(S)
             }
             down = self._stage_execs(partition.down, micro, sc=False, group_size=D)
-            up = self._stage_execs(partition.up, micro, sc=False, group_size=D)
+            up = self._stage_execs(
+                partition.up, micro, sc=False, group_size=D,
+                reverse_windows=True,
+            )
             # The up-chain stage execs (and therefore their replica
             # counts) are part of the key, alongside the two-sided
             # device weights.

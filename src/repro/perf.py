@@ -17,8 +17,16 @@ Schema (``repro-bench/1``)::
         ...
       ],
       "sweep": {"model": "sd", "gpus": 8, "batch": 256.0,
-                "wall_s": 1.9, "throughput": 123.4}
+                "wall_s": 1.9, "throughput": 123.4},
+      "elastic": {"model": "sd", "machines": 2, "devices_per_machine": 3,
+                  "cold_s": 0.8, "warm_s": 0.01}
     }
+
+The ``elastic`` section times a replan after a machine leave/rejoin
+round-trip: ``cold_s`` plans the final membership with fresh caches,
+``warm_s`` replans it inside an :class:`~repro.core.ElasticSession`
+whose caches survived the churn (the memo-hit path the >= 5x gate in
+``benchmarks/test_elastic_replan.py`` enforces).
 
 Fields are only ever added, never renamed, so downstream tooling can
 pin on ``schema``.  Every timing is a best-of-N floor (single runs on
@@ -140,6 +148,7 @@ def run_bench(*, best_of: int = 3, sweep: bool = True) -> dict:
         "best_of": best_of,
         "builds": builds,
     }
+    report["elastic"] = _bench_elastic(best_of)
 
     if sweep:
         sd = zoo.stable_diffusion_v2_1(self_conditioning=False)
@@ -165,6 +174,64 @@ def run_bench(*, best_of: int = 3, sweep: bool = True) -> dict:
     return report
 
 
+def _bench_elastic(best_of: int) -> dict:
+    """Cold vs warm replan latency across a leave/rejoin round-trip.
+
+    Mirrors the elastic benchmark's scenario on the same toy cluster
+    (two 3-device machines) so the CI artifact tracks the number the
+    >= 5x gate enforces.
+    """
+    from .cluster.topology import ClusterSpec
+    from .core import (
+        DiffusionPipePlanner,
+        ElasticEvent,
+        ElasticSession,
+        PlannerOptions,
+    )
+    from .models import zoo
+
+    cluster = ClusterSpec(num_machines=2, devices_per_machine=3)
+    model = zoo.stable_diffusion_v2_1()
+    profile = Profiler(cluster).profile(model)
+    options = PlannerOptions(
+        max_stages=4,
+        micro_batch_counts=(1, 2, 3, 4, 6, 8),
+        group_sizes=(3,),
+        heterogeneous_replication=True,
+        enable_bubble_filling=False,
+    )
+    batch_per_device = 16.0
+
+    cold = _best_of(
+        lambda: DiffusionPipePlanner(
+            model, cluster, profile, options=options, caches=PlannerCaches()
+        ).plan(batch_per_device * cluster.world_size),
+        best_of,
+    )
+
+    session = ElasticSession(
+        model,
+        cluster,
+        batch_per_device=batch_per_device,
+        profile=profile,
+        options=options,
+        caches=PlannerCaches(),
+    )
+    session.replan()
+    session.apply(ElasticEvent("leave"))
+    session.replan()
+    session.apply(ElasticEvent("join"))
+    warm = _best_of(session.replan, best_of)
+
+    return {
+        "model": "sd",
+        "machines": cluster.num_machines,
+        "devices_per_machine": cluster.devices_per_machine,
+        "cold_s": cold,
+        "warm_s": warm,
+    }
+
+
 def format_bench(report: dict) -> str:
     """Human-readable rendering of a :func:`run_bench` report."""
     from .harness import format_table
@@ -185,6 +252,14 @@ def format_bench(report: dict) -> str:
         rows,
         title=f"table builds (best of {report['best_of']})",
     )
+    elastic = report.get("elastic")
+    if elastic:
+        out += (
+            f"\nelastic replan: {elastic['model']} on "
+            f"{elastic['machines']}x{elastic['devices_per_machine']} GPUs "
+            f"after leave/rejoin — {elastic['cold_s'] * 1e3:.0f} ms cold, "
+            f"{elastic['warm_s'] * 1e3:.1f} ms warm"
+        )
     sweep = report.get("sweep")
     if sweep:
         out += (

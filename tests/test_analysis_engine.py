@@ -215,6 +215,23 @@ def test_determinism_near_misses(tmp_path):
     assert findings == []
 
 
+def test_determinism_covers_elastic_path(tmp_path):
+    """The elastic module lives under ``core/`` precisely so the
+    determinism rule covers it: a replan triggered by device churn must
+    still be a pure function of (model, cluster, batch), so a wall
+    clock leaking into an elastic event or session is flagged like any
+    other planner impurity."""
+    findings = run(tmp_path, "core/elastic.py", """\
+        import time
+
+        def event_stamp():
+            return time.monotonic()
+        """, ["determinism"])
+    assert len(findings) == 1
+    assert findings[0].rule == "determinism"
+    assert findings[0].path.endswith("core/elastic.py")
+
+
 def test_determinism_scope_excludes_service(tmp_path):
     # the service layer's latency telemetry may read wall clocks
     findings = run(tmp_path, "service/telemetry.py",

@@ -94,6 +94,45 @@ def test_plan_heterogeneous_cdm_non_divisible(capsys):
     assert "throughput" in out
 
 
+def test_plan_speed_factors_flag(capsys):
+    """--speed-factors builds a heterogeneous cluster and the planner
+    prices the slow device: the plan is valid but strictly slower than
+    the homogeneous one."""
+    assert main(["plan", "--model", "sd", "--gpus", "6", "--batch", "96"]) == 0
+    plain = capsys.readouterr().out
+    rc = main([
+        "plan", "--model", "sd", "--gpus", "6", "--batch", "96",
+        "--speed-factors", "0=0.5",
+    ])
+    assert rc == 0
+    slow = capsys.readouterr().out
+
+    def iteration_ms(out):
+        row = next(l for l in out.splitlines() if "iteration" in l)
+        return float(row.split("|")[1].strip().split()[0])
+
+    assert iteration_ms(slow) > iteration_ms(plain)
+
+
+def test_sweep_speed_factors_flag(capsys):
+    rc = main([
+        "sweep", "--model", "sd", "--gpus", "6", "--batches", "96",
+        "--speed-factors", "1=0.5",
+    ])
+    assert rc == 0
+    assert "DiffusionPipe" in capsys.readouterr().out
+
+
+def test_bad_speed_factors_rejected():
+    with pytest.raises(SystemExit, match="RANK=FACTOR"):
+        main(["plan", "--gpus", "6", "--speed-factors", "half"])
+    with pytest.raises(SystemExit, match="invalid --speed-factors"):
+        # Rank 9 is out of range on a 6-device world.
+        main(["plan", "--gpus", "6", "--speed-factors", "9=0.5"])
+    with pytest.raises(SystemExit, match="invalid --speed-factors"):
+        main(["plan", "--gpus", "6", "--speed-factors", "0=-1.0"])
+
+
 def test_plan_fill_strategy_flag(capsys, tmp_path):
     """--fill-strategy threads the registry name through the planner and
     surfaces the fill telemetry rows."""

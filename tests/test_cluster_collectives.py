@@ -79,6 +79,81 @@ def test_efficiency_interpolation():
     assert t2 < t3 < t4
 
 
+def test_efficiency_interpolation_clamped():
+    """Uncalibrated machine counts never interpolate above nominal bandwidth.
+
+    The raw curve has efficiency 2.0 at two nodes (hierarchical
+    all-reduce); a straight line from there to the 4-node point would give
+    a 3-machine flat ring "efficiency" ~1.25, i.e. faster than its own
+    nominal link.  Between calibrated anchors the segment endpoints are
+    clamped at 1.0; the anchors themselves stay raw.
+    """
+    c = p4de_cluster(8)
+    coll = CollectiveModel(c)
+    for machines in (3, 5, 6, 7):
+        ranks = list(range(machines * 8))
+        eff = coll._ring_efficiency(ranks)
+        assert eff <= 1.0, f"{machines} machines: efficiency {eff} > 1"
+    # 3 machines sits on the clamped 1.0 -> 0.494 segment, midway.
+    assert coll._ring_efficiency(list(range(24))) == pytest.approx(0.747)
+    # Beyond the 2-4 segment the curve never had values above 1, so the
+    # clamp is a no-op there: plain interpolation between 4 and 8.
+    assert coll._ring_efficiency(list(range(48))) == pytest.approx(
+        0.494 + 0.5 * (0.404 - 0.494)
+    )
+
+
+def test_efficiency_exact_anchors_unclamped():
+    """Calibrated machine counts return the raw Table-2 values — including
+    the >1 hierarchical-all-reduce point at two nodes."""
+    c = p4de_cluster(8)
+    coll = CollectiveModel(c)
+    assert coll._ring_efficiency(list(range(16))) == 2.0
+    assert coll._ring_efficiency(list(range(32))) == 0.494
+    assert coll._ring_efficiency(list(range(64))) == 0.404
+
+
+def test_three_machines_never_beat_two():
+    """Regression: a 3-machine all-reduce of the same size is never
+    cheaper than the 2-machine one (it was, via the interpolation spike).
+    """
+    c = p4de_cluster(8)
+    coll = CollectiveModel(c)
+    for size in (1e6, 1e8, 1e9, 8e9):
+        t2 = coll.allreduce(list(range(16)), size)
+        t3 = coll.allreduce(list(range(24)), size)
+        assert t3 >= t2
+
+
+def test_broadcast_pays_ring_calibration():
+    """Regression: multi-node broadcast pays the same achieved-bandwidth
+    and fixed-overhead calibration as the other ring collectives."""
+    c = p4de_cluster(2)
+    cal = CollectiveModel(
+        c,
+        inter_node_efficiency={1: 1.0, 2: 0.5},
+        ring_fixed_overhead_ms={1: 0.0, 2: 100.0},
+    )
+    raw = CollectiveModel(c, **NO_CAL)
+    size = 1e9
+    one_machine = list(range(8))
+    two_machines = list(range(16))
+    # Intra-node: calibration keyed {1: ...} leaves it untouched.
+    assert cal.broadcast(one_machine, size) == pytest.approx(
+        raw.broadcast(one_machine, size)
+    )
+    # Inter-node: fixed overhead plus halved achieved bandwidth.
+    base = raw.broadcast(two_machines, size)
+    link = c.inter_link
+    assert cal.broadcast(two_machines, size) == pytest.approx(
+        100.0 + 15 * link.latency + size / (link.bandwidth * 0.5)
+    )
+    assert cal.broadcast(two_machines, size) > base
+    # Under the default calibration the 2-machine group still pays the
+    # fixed term, so it can never undercut the alpha-beta floor.
+    assert CollectiveModel(c).broadcast(two_machines, size) > base
+
+
 def test_allreduce_costs_consistency():
     """allreduce(size) == size / R_ar + L_ar exactly (the DP's form)."""
     c = p4de_cluster(2)
